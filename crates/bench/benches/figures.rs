@@ -1,0 +1,38 @@
+//! Criterion end-to-end benchmarks: one small full-system run per
+//! (experiment, mechanism) cell. These time *simulator throughput* on each
+//! paper experiment's workload; the experiment *results* themselves come
+//! from the `fig*`/`table*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use puno_harness::{run_workload, Mechanism};
+use puno_workloads::{micro, WorkloadId};
+
+fn bench_mechanisms_on(c: &mut Criterion, group_name: &str, params: puno_workloads::WorkloadParams) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for mech in Mechanism::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &m| {
+            b.iter(|| black_box(run_workload(m, &params, 1).cycles))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10-14 cells ride the same sweep; benchmark the two contention
+/// extremes plus a micro hotspot.
+fn bench_full_system(c: &mut Criterion) {
+    bench_mechanisms_on(
+        c,
+        "full_system/intruder_small",
+        WorkloadId::Intruder.params().scaled(0.05),
+    );
+    bench_mechanisms_on(
+        c,
+        "full_system/ssca2_small",
+        WorkloadId::Ssca2.params().scaled(0.05),
+    );
+    bench_mechanisms_on(c, "full_system/hotspot", micro::hotspot(5));
+}
+
+criterion_group!(benches, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks of the simulation substrate: the event queue,
+//! the NoC, the directory state machine, and the PUNO predictor structures.
+//! These pin the cost of the building blocks so regressions in simulator
+//! throughput are caught separately from changes in simulated behaviour.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use puno_coherence::directory::{DirConfig, DirectoryBank};
+use puno_coherence::msg::{CoherenceMsg, TxInfo};
+use puno_coherence::predictor::NullPredictor;
+use puno_coherence::sharers::SharerSet;
+use puno_core::{PBuffer, PunoConfig, PunoPredictor, TxLengthBuffer};
+use puno_noc::{Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS};
+use puno_sim::{EventQueue, LineAddr, NodeId, SimRng, StaticTxId, Timestamp, TxId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at(i % 97, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/uniform_random_256_packets", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
+            for i in 0..256u32 {
+                let src = NodeId(rng.gen_range(16) as u16);
+                let dst = NodeId(rng.gen_range(16) as u16);
+                net.inject(0, src, dst, VirtualNetwork::Request, CONTROL_FLITS, i);
+            }
+            let mut now = 0;
+            let mut delivered = 0;
+            while !net.is_idle() {
+                delivered += net.step(now).len();
+                now += 1;
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("directory/gets_getx_unblock_cycle", |b| {
+        b.iter(|| {
+            let mut bank = DirectoryBank::new(NodeId(0), DirConfig::default());
+            let mut p = NullPredictor;
+            let info = TxInfo {
+                tx: TxId(1),
+                timestamp: Timestamp(1),
+                static_tx: StaticTxId(0),
+                avg_len_hint: 100,
+            };
+            // First touch: memory fetch, then unblock, then a GETX cycle.
+            bank.handle(
+                0,
+                CoherenceMsg::Gets {
+                    addr: LineAddr(1),
+                    requester: NodeId(1),
+                    tx: Some(info),
+                },
+                &mut p,
+            );
+            bank.mem_ready(200, LineAddr(1), &mut p);
+            bank.handle(
+                220,
+                CoherenceMsg::Unblock {
+                    addr: LineAddr(1),
+                    requester: NodeId(1),
+                    success: true,
+                    nackers: SharerSet::EMPTY,
+                    mp_node: None,
+                    tx: None,
+                },
+                &mut p,
+            );
+            black_box(bank.holders_of(LineAddr(1)))
+        })
+    });
+}
+
+fn bench_pbuffer(c: &mut Criterion) {
+    c.bench_function("pbuffer/update_and_ud_scan", |b| {
+        let mut pb = PBuffer::new(16);
+        for i in 0..16u16 {
+            pb.update(NodeId(i), Timestamp(i as u64 * 10));
+        }
+        let holders: Vec<NodeId> = (0..16).map(NodeId).collect();
+        b.iter(|| {
+            pb.update(NodeId(3), Timestamp(black_box(42)));
+            black_box(pb.highest_priority_among(holders.iter().copied()))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("puno_predictor/predict_unicast", |b| {
+        let mut p = PunoPredictor::new(PunoConfig::default());
+        use puno_coherence::UnicastPredictor;
+        let info = |ts| TxInfo {
+            tx: TxId(ts),
+            timestamp: Timestamp(ts),
+            static_tx: StaticTxId(0),
+            avg_len_hint: 500,
+        };
+        for i in 0..16u16 {
+            p.observe_request(0, NodeId(i), &info(i as u64 * 100 + 10));
+        }
+        let holders: SharerSet = (1..8u16).map(NodeId).collect();
+        b.iter(|| {
+            black_box(p.predict_unicast(
+                black_box(50),
+                LineAddr(9),
+                NodeId(0),
+                &info(5000),
+                holders,
+                false,
+            ))
+        })
+    });
+}
+
+fn bench_txlb(c: &mut Criterion) {
+    c.bench_function("txlb/record_and_estimate", |b| {
+        let mut txlb = TxLengthBuffer::paper();
+        let mut i = 0u32;
+        b.iter(|| {
+            txlb.record_commit(StaticTxId(i % 8), 100 + (i as u64 % 50));
+            i += 1;
+            black_box(txlb.estimate(StaticTxId(i % 8)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_noc,
+    bench_directory,
+    bench_pbuffer,
+    bench_predictor,
+    bench_txlb
+);
+criterion_main!(benches);

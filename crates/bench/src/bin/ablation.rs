@@ -1,0 +1,128 @@
+//! Ablation study over PUNO's design choices (the DESIGN.md A1/A2 index):
+//!
+//! * full PUNO vs unicast-only (no notification) vs shared-state-only
+//!   prediction (no owner-state probes);
+//! * validity threshold 2 (the paper's rule) vs 3 (live-transaction
+//!   discrimination);
+//! * rollover factor 1 / 2 / 4 (priority freshness window);
+//! * misprediction feedback on/off (stale priorities never invalidated).
+//!
+//! Run on the high-contention group, where the mechanism matters.
+
+use puno_bench::{parse_args, save_json};
+use puno_harness::run::run_with_config;
+use puno_harness::{Mechanism, SystemConfig};
+use puno_workloads::WorkloadId;
+
+struct Variant {
+    name: &'static str,
+    config: SystemConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = SystemConfig::paper(Mechanism::Puno);
+    let mut v = vec![Variant {
+        name: "puno-full",
+        config: base,
+    }];
+    {
+        let mut c = base;
+        c.puno.notification_enabled = false;
+        v.push(Variant {
+            name: "unicast-only",
+            config: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.puno.predict_owner_state = false;
+        v.push(Variant {
+            name: "shared-state-only",
+            config: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.puno.validity_threshold = 3;
+        v.push(Variant {
+            name: "validity-3",
+            config: c,
+        });
+    }
+    for factor in [1u64, 4] {
+        let mut c = base;
+        c.puno.rollover_factor = factor;
+        v.push(Variant {
+            name: if factor == 1 { "rollover-1x" } else { "rollover-4x" },
+            config: c,
+        });
+    }
+    {
+        let mut c = base;
+        c.puno.age_gate_factor = 2;
+        v.push(Variant {
+            name: "age-gate-2x",
+            config: c,
+        });
+    }
+    {
+        // §VI future-work extension: finish-time wake-up hints.
+        let mut c = base;
+        c.puno.wakeup_hints = true;
+        v.push(Variant {
+            name: "wakeup-hints",
+            config: c,
+        });
+    }
+    v.push(Variant {
+        name: "baseline",
+        config: SystemConfig::paper(Mechanism::Baseline),
+    });
+    v
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "PUNO ablations on the high-contention group (scale {}, seed {})",
+        args.scale, args.seed
+    );
+    println!(
+        "{:<18}{:>10}{:>12}{:>12}{:>10}{:>10}",
+        "variant", "aborts", "cycles", "traffic", "unicasts", "acc %"
+    );
+    let mut json = Vec::new();
+    for variant in variants() {
+        let mut aborts = 0u64;
+        let mut cycles = 0u64;
+        let mut traffic = 0u64;
+        let mut unicasts = 0u64;
+        let mut mispred = 0u64;
+        for &w in &WorkloadId::HIGH_CONTENTION {
+            let m = run_with_config(variant.config, &w.params().scaled(args.scale), args.seed);
+            aborts += m.htm.aborts.get();
+            cycles += m.cycles;
+            traffic += m.traffic_router_traversals;
+            unicasts += m.puno.unicasts.get();
+            mispred += m.puno.mispredictions.get();
+        }
+        let acc = if unicasts > 0 {
+            (1.0 - mispred as f64 / unicasts as f64) * 100.0
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<18}{:>10}{:>12}{:>12}{:>10}{:>10.1}",
+            variant.name, aborts, cycles, traffic, unicasts, acc
+        );
+        json.push(serde_json::json!({
+            "variant": variant.name,
+            "aborts": aborts,
+            "cycles": cycles,
+            "traffic": traffic,
+            "unicasts": unicasts,
+            "accuracy_pct": acc,
+        }));
+    }
+    save_json("ablation", &serde_json::Value::Array(json));
+}

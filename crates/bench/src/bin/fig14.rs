@@ -1,0 +1,14 @@
+//! Figure 14: the G/D ratio — good (committed) transaction effort over
+//! discarded (aborted) effort — normalized to the baseline. Larger is
+//! better.
+
+use puno_bench::{emit_figure, full_sweep, parse_args};
+use puno_harness::report::FigureMetric;
+
+fn main() {
+    let args = parse_args();
+    let results = full_sweep(args);
+    emit_figure("fig14", FigureMetric::GdRatio, &results);
+    println!("Paper: PUNO's G/D ratio exceeds baseline / random backoff /");
+    println!("RMW-Pred by 1.65x / 1.24x / 2.11x on average.");
+}

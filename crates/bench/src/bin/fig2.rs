@@ -1,0 +1,38 @@
+//! Figure 2: percentage of transactional GETX requests that trigger false
+//! aborts, measured on the baseline HTM.
+
+use puno_bench::{baseline_sweep, parse_args, save_json};
+use puno_harness::sweep::find;
+use puno_harness::Mechanism;
+use puno_workloads::WorkloadId;
+
+fn main() {
+    let args = parse_args();
+    let results = baseline_sweep(args);
+    println!(
+        "Figure 2 — transactional GETX requests incurring false aborting (baseline, scale {}, seed {})",
+        args.scale, args.seed
+    );
+    println!("{:<11}{:>12}{:>14}{:>12}", "workload", "false %", "nacked %", "episodes");
+    let mut json = Vec::new();
+    let mut sum = 0.0;
+    for &w in &WorkloadId::ALL {
+        let m = find(&results, w, Mechanism::Baseline);
+        let frac = m.oracle.false_abort_fraction() * 100.0;
+        sum += frac;
+        println!(
+            "{:<11}{:>11.1}%{:>13.1}%{:>12}",
+            w.name(),
+            frac,
+            m.oracle.nack_fraction() * 100.0,
+            m.oracle.tx_getx_episodes
+        );
+        json.push(serde_json::json!({
+            "workload": w.name(),
+            "false_abort_pct": frac,
+            "nacked_pct": m.oracle.nack_fraction() * 100.0,
+        }));
+    }
+    println!("{:<11}{:>11.1}%   (paper reports 41% average)", "average", sum / 8.0);
+    save_json("fig2", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,30 @@
+//! Table III: VLSI area and power overhead of the PUNO structures,
+//! from the calibrated analytic SRAM model, normalized against the Sun
+//! Rock per-core figures.
+
+use puno_bench::save_json;
+use puno_vlsi::table3;
+
+fn main() {
+    let t = table3();
+    println!("Table III — area and power overhead (65 nm, 2.3 GHz, 0.9 V)");
+    println!(
+        "{:<14}{:>12}{:>12}{:>14}{:>12}",
+        "component", "area um^2", "power mW", "paper um^2", "paper mW"
+    );
+    for row in &t.rows {
+        println!(
+            "{:<14}{:>12.0}{:>12.2}{:>14.0}{:>12.2}",
+            row.component, row.area_um2, row.power_mw, row.paper_area_um2, row.paper_power_mw
+        );
+    }
+    println!(
+        "{:<14}{:>12.0}{:>12.2}",
+        "overall", t.total_area_um2, t.total_power_mw
+    );
+    println!(
+        "overhead vs one Rock core: area {:.2}%  power {:.2}%  (paper: 0.41% / 0.31%)",
+        t.area_overhead_pct, t.power_overhead_pct
+    );
+    save_json("table3", &serde_json::to_value(&t).unwrap());
+}

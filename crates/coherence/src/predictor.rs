@@ -1,0 +1,104 @@
+//! The hook through which PUNO's unicast-destination predictor plugs into
+//! the home directory.
+//!
+//! The coherence crate stays ignorant of P-Buffers, validity counters and UD
+//! pointers; it only asks "should this transactional GETX be unicast, and to
+//! whom?". The `puno-core` crate provides the real implementation; the
+//! `NullPredictor` here gives the baseline (always multicast) behaviour.
+
+use crate::msg::TxInfo;
+use crate::sharers::SharerSet;
+use puno_sim::{Cycle, LineAddr, NodeId};
+
+/// Outcome of a unicast prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictedTarget {
+    /// The sharer predicted to NACK the request (the UD pointer target).
+    pub node: NodeId,
+}
+
+/// Directory-side prediction interface (paper Section III-B/III-C).
+pub trait UnicastPredictor {
+    /// Every incoming transactional request refreshes the {host node,
+    /// priority} pair for its source (P-Buffer update).
+    fn observe_request(&mut self, now: Cycle, node: NodeId, info: &TxInfo);
+
+    /// Called when a transactional GETX is about to be forwarded. `holders`
+    /// is the set of nodes that would receive the multicast (sharers minus
+    /// the requester, or the single owner); `exclusive_owner` distinguishes
+    /// the owned-state forward (single target regardless) from the
+    /// shared-state multicast. Return `Some` to unicast.
+    fn predict_unicast(
+        &mut self,
+        now: Cycle,
+        addr: LineAddr,
+        requester: NodeId,
+        req: &TxInfo,
+        holders: SharerSet,
+        exclusive_owner: bool,
+    ) -> Option<PredictedTarget>;
+
+    /// Misprediction feedback relayed through UNBLOCK (MP-bit + MP-node):
+    /// invalidate the stale priority that caused the bad prediction.
+    fn on_mispredict_feedback(&mut self, now: Cycle, addr: LineAddr, node: NodeId);
+
+    /// Called after each directory service episode completes, with the final
+    /// holder set, so the entry's UD pointer can be recomputed off the
+    /// critical path.
+    fn after_service(&mut self, now: Cycle, addr: LineAddr, holders: SharerSet);
+
+    /// Extra forwarding latency the prediction adds on the critical path.
+    /// PUNO: 1 cycle P-Buffer access + 1 cycle unicast decision. Baseline: 0.
+    fn decision_latency(&self) -> Cycle {
+        0
+    }
+}
+
+/// Baseline behaviour: never unicast; requests are always multicast
+/// exhaustively to all holders.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullPredictor;
+
+impl UnicastPredictor for NullPredictor {
+    fn observe_request(&mut self, _now: Cycle, _node: NodeId, _info: &TxInfo) {}
+
+    fn predict_unicast(
+        &mut self,
+        _now: Cycle,
+        _addr: LineAddr,
+        _requester: NodeId,
+        _req: &TxInfo,
+        _holders: SharerSet,
+        _exclusive_owner: bool,
+    ) -> Option<PredictedTarget> {
+        None
+    }
+
+    fn on_mispredict_feedback(&mut self, _now: Cycle, _addr: LineAddr, _node: NodeId) {}
+
+    fn after_service(&mut self, _now: Cycle, _addr: LineAddr, _holders: SharerSet) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puno_sim::{StaticTxId, Timestamp, TxId};
+
+    #[test]
+    fn null_predictor_never_unicasts() {
+        let mut p = NullPredictor;
+        let info = TxInfo {
+            tx: TxId(1),
+            timestamp: Timestamp(5),
+            static_tx: StaticTxId(0),
+            avg_len_hint: 100,
+        };
+        p.observe_request(0, NodeId(1), &info);
+        let holders: SharerSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        assert_eq!(
+            p.predict_unicast(10, LineAddr(4), NodeId(0), &info, holders, false),
+            None
+        );
+        assert_eq!(p.decision_latency(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The Transaction Priority Buffer (P-Buffer) of Figure 5(a).
+//!
+//! One per directory bank; `N` entries record the latest known transaction
+//! priority on each of the `N` nodes, each guarded by a 2-bit validity
+//! counter. Updated from every incoming transactional coherence request;
+//! decayed by the rollover-counter timeout; entries invalidated on
+//! misprediction feedback.
+
+use crate::validity::ValidityCounter;
+use puno_sim::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct PEntry {
+    priority: Option<Timestamp>,
+    validity: ValidityCounter,
+}
+
+/// Per-directory-bank priority cache.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PBuffer {
+    entries: Vec<PEntry>,
+    threshold: u8,
+}
+
+impl PBuffer {
+    pub fn new(nodes: usize) -> Self {
+        Self::with_threshold(nodes, ValidityCounter::VALID_THRESHOLD)
+    }
+
+    pub fn with_threshold(nodes: usize, threshold: u8) -> Self {
+        Self {
+            entries: vec![PEntry::default(); nodes],
+            threshold,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record the latest priority observed from `node`.
+    pub fn update(&mut self, node: NodeId, priority: Timestamp) {
+        let e = &mut self.entries[node.index()];
+        e.priority = Some(priority);
+        e.validity.on_update();
+    }
+
+    /// The rollover counter fired: decay every entry.
+    pub fn timeout(&mut self) {
+        for e in &mut self.entries {
+            e.validity.on_timeout();
+        }
+    }
+
+    /// Misprediction feedback: drop the stale priority for `node`.
+    pub fn invalidate(&mut self, node: NodeId) {
+        let e = &mut self.entries[node.index()];
+        e.priority = None;
+        e.validity.invalidate();
+    }
+
+    /// Priority of `node` if present *and* its validity counter clears the
+    /// prediction threshold.
+    pub fn valid_priority(&self, node: NodeId) -> Option<Timestamp> {
+        self.valid_priority_at(node, self.threshold)
+    }
+
+    /// Priority lookup against an explicit confidence threshold.
+    pub fn valid_priority_at(&self, node: NodeId, threshold: u8) -> Option<Timestamp> {
+        let e = &self.entries[node.index()];
+        if e.validity.is_valid_at(threshold) {
+            e.priority
+        } else {
+            None
+        }
+    }
+
+    /// Raw (possibly stale) priority, for diagnostics.
+    pub fn raw_priority(&self, node: NodeId) -> Option<Timestamp> {
+        self.entries[node.index()].priority
+    }
+
+    /// Among `candidates`, the node with the highest valid priority (oldest
+    /// timestamp) — the UD pointer computation.
+    pub fn highest_priority_among(
+        &self,
+        candidates: impl Iterator<Item = NodeId>,
+    ) -> Option<(NodeId, Timestamp)> {
+        candidates
+            .filter_map(|n| self.valid_priority(n).map(|p| (n, p)))
+            .min_by_key(|&(n, p)| (p, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup() {
+        let mut pb = PBuffer::new(16);
+        assert_eq!(pb.valid_priority(NodeId(3)), None);
+        pb.update(NodeId(3), Timestamp(100));
+        assert_eq!(pb.valid_priority(NodeId(3)), Some(Timestamp(100)));
+    }
+
+    #[test]
+    fn decayed_entries_are_not_trusted() {
+        let mut pb = PBuffer::new(4);
+        pb.update(NodeId(1), Timestamp(5));
+        pb.timeout(); // validity 2 -> 1, below threshold
+        assert_eq!(pb.valid_priority(NodeId(1)), None);
+        assert_eq!(pb.raw_priority(NodeId(1)), Some(Timestamp(5)));
+        pb.update(NodeId(1), Timestamp(7)); // revalidates
+        assert_eq!(pb.valid_priority(NodeId(1)), Some(Timestamp(7)));
+    }
+
+    #[test]
+    fn invalidate_clears_priority() {
+        let mut pb = PBuffer::new(4);
+        pb.update(NodeId(2), Timestamp(9));
+        pb.invalidate(NodeId(2));
+        assert_eq!(pb.valid_priority(NodeId(2)), None);
+        assert_eq!(pb.raw_priority(NodeId(2)), None);
+    }
+
+    #[test]
+    fn highest_priority_is_oldest_timestamp() {
+        let mut pb = PBuffer::new(8);
+        pb.update(NodeId(1), Timestamp(300));
+        pb.update(NodeId(2), Timestamp(100)); // oldest = highest priority
+        pb.update(NodeId(3), Timestamp(200));
+        let ud = pb.highest_priority_among([NodeId(1), NodeId(2), NodeId(3)].into_iter());
+        assert_eq!(ud, Some((NodeId(2), Timestamp(100))));
+    }
+
+    #[test]
+    fn ud_computation_skips_invalid_entries() {
+        let mut pb = PBuffer::new(8);
+        pb.update(NodeId(1), Timestamp(300));
+        pb.update(NodeId(2), Timestamp(100));
+        pb.timeout(); // both at validity 1
+        pb.update(NodeId(1), Timestamp(310)); // only node 1 revalidated
+        let ud = pb.highest_priority_among([NodeId(1), NodeId(2)].into_iter());
+        assert_eq!(ud, Some((NodeId(1), Timestamp(310))));
+    }
+
+    #[test]
+    fn ud_none_when_nothing_valid() {
+        let pb = PBuffer::new(8);
+        assert_eq!(
+            pb.highest_priority_among([NodeId(0), NodeId(1)].into_iter()),
+            None
+        );
+    }
+
+    #[test]
+    fn tie_breaks_by_node_id() {
+        let mut pb = PBuffer::new(8);
+        pb.update(NodeId(5), Timestamp(100));
+        pb.update(NodeId(2), Timestamp(100));
+        let ud = pb.highest_priority_among([NodeId(5), NodeId(2)].into_iter());
+        assert_eq!(ud, Some((NodeId(2), Timestamp(100))));
+    }
+}

@@ -1,0 +1,130 @@
+//! The adaptive rollover counter of Figure 5(a).
+//!
+//! One 32-bit counter per directory bank generates the timeout signal that
+//! decays all validity counters. Its period adapts to the average
+//! transaction length observed in the workload (Section III-B: "the timeout
+//! period used by the rollover counter is determined dynamically based on
+//! the average transaction length"), carried to the directory as the
+//! `avg_len_hint` field on transactional requests. The adaptivity is what
+//! keeps prediction accuracy high both for Kmeans-style microsecond
+//! transactions and Labyrinth-style giant ones.
+
+use puno_sim::{Cycle, Cycles, Ewma};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RolloverCounter {
+    /// EWMA of the avg-transaction-length hints from incoming requests.
+    avg_tx_len: Ewma,
+    min_period: Cycles,
+    max_period: Cycles,
+    /// Timeout period = `factor x` the average transaction length.
+    factor: Cycles,
+    last_fire: Cycle,
+}
+
+impl RolloverCounter {
+    pub fn new(min_period: Cycles, max_period: Cycles) -> Self {
+        Self::with_factor(min_period, max_period, 1)
+    }
+
+    pub fn with_factor(min_period: Cycles, max_period: Cycles, factor: Cycles) -> Self {
+        assert!(min_period >= 1 && min_period <= max_period && factor >= 1);
+        Self {
+            avg_tx_len: Ewma::new(),
+            min_period,
+            max_period,
+            factor,
+            last_fire: 0,
+        }
+    }
+
+    /// Fold in a transaction-length hint from a request.
+    pub fn observe_tx_len(&mut self, hint: Cycles) {
+        if hint > 0 {
+            self.avg_tx_len.update(hint);
+        }
+    }
+
+    /// The tracked average transaction length (None before the first hint).
+    pub fn avg_tx_len(&self) -> Option<Cycles> {
+        self.avg_tx_len.get()
+    }
+
+    /// Current timeout period.
+    pub fn period(&self) -> Cycles {
+        self.avg_tx_len
+            .get_or(self.max_period)
+            .saturating_mul(self.factor)
+            .clamp(self.min_period, self.max_period)
+    }
+
+    /// Advance to `now`; returns how many timeout signals fired since the
+    /// last call (capped, so an idle bank does not spin after a long gap —
+    /// validity counters are 2-bit, more than 3 decays is equivalent to 3).
+    pub fn advance(&mut self, now: Cycle) -> u32 {
+        let period = self.period();
+        let mut fired = 0;
+        while now.saturating_sub(self.last_fire) >= period && fired < 4 {
+            self.last_fire += period;
+            fired += 1;
+        }
+        if fired == 4 {
+            // Fully decayed anyway; fast-forward.
+            self.last_fire = now;
+        }
+        fired
+    }
+}
+
+impl Default for RolloverCounter {
+    fn default() -> Self {
+        Self::new(256, 1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_tracks_hints_within_clamps() {
+        let mut r = RolloverCounter::new(100, 10_000);
+        assert_eq!(r.period(), 10_000, "no hints: longest period");
+        r.observe_tx_len(500);
+        assert_eq!(r.period(), 500);
+        r.observe_tx_len(10); // EWMA (500+10)/2 = 255
+        assert_eq!(r.period(), 255);
+        for _ in 0..10 {
+            r.observe_tx_len(1); // drive below the clamp
+        }
+        assert_eq!(r.period(), 100);
+    }
+
+    #[test]
+    fn fires_once_per_period() {
+        let mut r = RolloverCounter::new(100, 100);
+        assert_eq!(r.advance(50), 0);
+        assert_eq!(r.advance(100), 1);
+        assert_eq!(r.advance(150), 0);
+        assert_eq!(r.advance(250), 1);
+    }
+
+    #[test]
+    fn long_gap_fires_capped() {
+        let mut r = RolloverCounter::new(100, 100);
+        assert_eq!(r.advance(100_000), 4);
+        // After the cap it fast-forwards; an immediate re-check is quiet.
+        assert_eq!(r.advance(100_001), 0);
+    }
+
+    #[test]
+    fn adaptive_period_shortens_for_short_transactions() {
+        let mut r = RolloverCounter::new(64, 1 << 20);
+        for _ in 0..8 {
+            r.observe_tx_len(200);
+        }
+        let p = r.period();
+        assert!((64..=400).contains(&p), "period {p} should track ~200-cycle txs");
+    }
+}

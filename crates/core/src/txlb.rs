@@ -1,0 +1,114 @@
+//! The Transaction Length Buffer (TxLB) of Figure 6.
+//!
+//! One per node; each entry tracks the average dynamic length of one
+//! *static* transaction via formula (1):
+//! `StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2`, weighting recent
+//! instances more. Bounded at 32 entries in hardware (Table II); "in the
+//! rare case of overflow, the system can resort to a software managed
+//! structure" — modeled as an unbounded spill map with an overflow counter
+//! so experiments can report how often the hardware capacity would have
+//! been exceeded.
+
+use puno_sim::{Counter, Cycles, Ewma, StaticTxId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxLengthBuffer {
+    hw_capacity: usize,
+    entries: HashMap<StaticTxId, Ewma>,
+    pub overflow_updates: Counter,
+    /// Global average across all static transactions — the avg-length hint
+    /// piggybacked on requests for the directory's adaptive rollover.
+    global: Ewma,
+}
+
+impl TxLengthBuffer {
+    pub fn new(hw_capacity: usize) -> Self {
+        assert!(hw_capacity > 0);
+        Self {
+            hw_capacity,
+            entries: HashMap::new(),
+            overflow_updates: Counter::default(),
+            global: Ewma::new(),
+        }
+    }
+
+    /// The paper's configuration (Table II: 32-entry TxLB).
+    pub fn paper() -> Self {
+        Self::new(32)
+    }
+
+    /// A dynamic instance of `static_tx` committed after `len` cycles.
+    pub fn record_commit(&mut self, static_tx: StaticTxId, len: Cycles) {
+        if !self.entries.contains_key(&static_tx) && self.entries.len() >= self.hw_capacity {
+            self.overflow_updates.inc();
+        }
+        self.entries.entry(static_tx).or_default().update(len);
+        self.global.update(len);
+    }
+
+    /// Average length estimate for `static_tx`; `None` before the first
+    /// commit (no notification can be produced yet).
+    pub fn estimate(&self, static_tx: StaticTxId) -> Option<Cycles> {
+        self.entries.get(&static_tx).and_then(|e| e.get())
+    }
+
+    /// Workload-wide average length (the request hint).
+    pub fn global_estimate(&self) -> Option<Cycles> {
+        self.global.get()
+    }
+
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_one_semantics() {
+        let mut b = TxLengthBuffer::new(8);
+        assert_eq!(b.estimate(StaticTxId(0)), None);
+        b.record_commit(StaticTxId(0), 100);
+        assert_eq!(b.estimate(StaticTxId(0)), Some(100));
+        b.record_commit(StaticTxId(0), 300);
+        assert_eq!(b.estimate(StaticTxId(0)), Some(200));
+    }
+
+    #[test]
+    fn per_static_transaction_tracking_is_independent() {
+        let mut b = TxLengthBuffer::new(8);
+        b.record_commit(StaticTxId(0), 100);
+        b.record_commit(StaticTxId(1), 9000);
+        assert_eq!(b.estimate(StaticTxId(0)), Some(100));
+        assert_eq!(b.estimate(StaticTxId(1)), Some(9000));
+        // Averaging all past transactions together would be wrong for
+        // workloads with large inter-transaction variance — the reason the
+        // TxLB is keyed per static transaction.
+    }
+
+    #[test]
+    fn overflow_counts_but_still_tracks() {
+        let mut b = TxLengthBuffer::new(2);
+        b.record_commit(StaticTxId(0), 10);
+        b.record_commit(StaticTxId(1), 20);
+        b.record_commit(StaticTxId(2), 30); // software spill
+        assert_eq!(b.overflow_updates.get(), 1);
+        assert_eq!(b.estimate(StaticTxId(2)), Some(30));
+        assert_eq!(b.tracked(), 3);
+        // Updates to already-tracked entries don't count as overflow.
+        b.record_commit(StaticTxId(2), 40);
+        assert_eq!(b.overflow_updates.get(), 1);
+    }
+
+    #[test]
+    fn global_estimate_blends_all() {
+        let mut b = TxLengthBuffer::new(8);
+        b.record_commit(StaticTxId(0), 100);
+        b.record_commit(StaticTxId(1), 300);
+        assert_eq!(b.global_estimate(), Some(200));
+    }
+}

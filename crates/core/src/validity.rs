@@ -1,0 +1,124 @@
+//! The 2-bit validity counter of Figure 5(b).
+//!
+//! Each P-Buffer entry carries one. Semantics:
+//!
+//! * a priority **update** increments the counter — and an update that finds
+//!   the counter at 0 (invalid) increments it *twice*, "to allow a longer
+//!   timeout period" for freshly revalidated entries;
+//! * a rollover-counter **timeout** decrements every non-zero counter;
+//! * only priorities whose counter is **greater than 1** are trusted by the
+//!   unicast predictor.
+
+use serde::{Deserialize, Serialize};
+
+/// Saturating 2-bit counter (0..=3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidityCounter(u8);
+
+impl ValidityCounter {
+    pub const MAX: u8 = 3;
+
+    /// Threshold for the predictor to trust the entry ("only those
+    /// priorities with validity counters greater than 1 are used").
+    pub const VALID_THRESHOLD: u8 = 2;
+
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// A priority update arrived for this entry.
+    pub fn on_update(&mut self) {
+        let bump = if self.0 == 0 { 2 } else { 1 };
+        self.0 = (self.0 + bump).min(Self::MAX);
+    }
+
+    /// The rollover counter fired.
+    pub fn on_timeout(&mut self) {
+        self.0 = self.0.saturating_sub(1);
+    }
+
+    /// Hard invalidation (misprediction feedback).
+    pub fn invalidate(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Is the associated priority trustworthy for unicast prediction?
+    pub fn is_valid(self) -> bool {
+        self.is_valid_at(Self::VALID_THRESHOLD)
+    }
+
+    /// Validity against an explicit threshold (2 = the paper's rule: "only
+    /// those priorities with validity counters greater than 1"; 3 demands
+    /// two recent updates, which discriminates actively-retrying
+    /// transactions from recently-committed ones).
+    pub fn is_valid_at(self, threshold: u8) -> bool {
+        self.0 >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counter_is_invalid() {
+        assert!(!ValidityCounter::new().is_valid());
+    }
+
+    #[test]
+    fn update_from_zero_jumps_to_two() {
+        // "After updating the priority with 0 validity, the validity counter
+        // is incremented twice."
+        let mut c = ValidityCounter::new();
+        c.on_update();
+        assert_eq!(c.value(), 2);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn update_from_nonzero_increments_once_and_saturates() {
+        let mut c = ValidityCounter::new();
+        c.on_update(); // 2
+        c.on_update(); // 3
+        assert_eq!(c.value(), 3);
+        c.on_update(); // saturate at 3
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn timeout_decays_to_invalid() {
+        let mut c = ValidityCounter::new();
+        c.on_update(); // 2
+        c.on_timeout(); // 1 -> below threshold
+        assert!(!c.is_valid());
+        c.on_timeout(); // 0
+        c.on_timeout(); // stays 0
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn stale_then_updated_entry_gets_long_grace() {
+        let mut c = ValidityCounter::new();
+        c.on_update(); // 2
+        c.on_timeout();
+        c.on_timeout(); // 0, fully stale
+        c.on_update(); // revalidated: jumps straight to 2
+        assert!(c.is_valid());
+        c.on_timeout(); // needs two timeouts to go stale again
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn invalidate_is_immediate() {
+        let mut c = ValidityCounter::new();
+        c.on_update();
+        c.on_update();
+        c.invalidate();
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for PUNO's hardware structures: the validity-counter FSM
+//! against a reference model, the P-Buffer/UD computation against brute
+//! force, and TxLB formula-(1) convergence.
+
+use proptest::prelude::*;
+use puno_core::{PBuffer, TxLengthBuffer, ValidityCounter};
+use puno_sim::{NodeId, StaticTxId, Timestamp};
+
+#[derive(Clone, Copy, Debug)]
+enum VOp {
+    Update,
+    Timeout,
+    Invalidate,
+}
+
+fn arb_vop() -> impl Strategy<Value = VOp> {
+    prop_oneof![
+        3 => Just(VOp::Update),
+        3 => Just(VOp::Timeout),
+        1 => Just(VOp::Invalidate),
+    ]
+}
+
+/// Reference model of Figure 5(b), written independently of the
+/// implementation: a saturating 0..=3 counter; update increments (double
+/// increment from 0), timeout decrements, invalidate zeroes.
+fn reference(ops: &[VOp]) -> u8 {
+    let mut v: i32 = 0;
+    for op in ops {
+        match op {
+            VOp::Update => v = (v + if v == 0 { 2 } else { 1 }).min(3),
+            VOp::Timeout => v = (v - 1).max(0),
+            VOp::Invalidate => v = 0,
+        }
+    }
+    v as u8
+}
+
+proptest! {
+    #[test]
+    fn validity_counter_matches_reference(ops in proptest::collection::vec(arb_vop(), 0..64)) {
+        let mut c = ValidityCounter::new();
+        for op in &ops {
+            match op {
+                VOp::Update => c.on_update(),
+                VOp::Timeout => c.on_timeout(),
+                VOp::Invalidate => c.invalidate(),
+            }
+        }
+        prop_assert_eq!(c.value(), reference(&ops));
+        prop_assert_eq!(c.is_valid(), reference(&ops) >= 2);
+    }
+
+    /// The UD computation returns exactly the brute-force argmin of valid
+    /// priorities (oldest timestamp, node id tie-break).
+    #[test]
+    fn ud_pointer_is_brute_force_argmin(
+        updates in proptest::collection::vec((0u16..16, 1u64..1000), 0..64),
+        timeouts_after in proptest::collection::vec(any::<bool>(), 0..64),
+        candidates in proptest::collection::vec(0u16..16, 1..16),
+    ) {
+        let mut pb = PBuffer::new(16);
+        // Mirror of entry state: (priority, validity) maintained naively.
+        let mut mirror: Vec<(Option<u64>, u8)> = vec![(None, 0); 16];
+        for (i, &(node, ts)) in updates.iter().enumerate() {
+            pb.update(NodeId(node), Timestamp(ts));
+            let m = &mut mirror[node as usize];
+            m.0 = Some(ts);
+            m.1 = (m.1 + if m.1 == 0 { 2 } else { 1 }).min(3);
+            if timeouts_after.get(i).copied().unwrap_or(false) {
+                pb.timeout();
+                for m in &mut mirror {
+                    m.1 = m.1.saturating_sub(1);
+                }
+            }
+        }
+        let expected = candidates
+            .iter()
+            .filter_map(|&n| {
+                let (p, v) = mirror[n as usize];
+                (v >= 2).then_some(p).flatten().map(|ts| (ts, n))
+            })
+            .min()
+            .map(|(ts, n)| (NodeId(n), Timestamp(ts)));
+        let got = pb.highest_priority_among(candidates.iter().map(|&n| NodeId(n)));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Formula (1) keeps the estimate inside the observed sample range and
+    /// converges geometrically onto a constant input.
+    #[test]
+    fn txlb_estimate_bounded_and_convergent(
+        samples in proptest::collection::vec(1u64..100_000, 1..40),
+    ) {
+        let mut txlb = TxLengthBuffer::new(4);
+        for &s in &samples {
+            txlb.record_commit(StaticTxId(0), s);
+        }
+        let est = txlb.estimate(StaticTxId(0)).unwrap();
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(est >= lo.saturating_sub(1) && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+
+        // Convergence: feed a constant; within 20 updates the estimate
+        // settles within 1 of it (integer halving).
+        let mut t2 = TxLengthBuffer::new(4);
+        t2.record_commit(StaticTxId(1), est);
+        for _ in 0..20 {
+            t2.record_commit(StaticTxId(1), 500);
+        }
+        let settled = t2.estimate(StaticTxId(1)).unwrap();
+        prop_assert!(settled >= 499 && settled <= 500, "settled at {settled}");
+    }
+}

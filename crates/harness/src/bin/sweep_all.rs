@@ -1,0 +1,53 @@
+//! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
+//! Usage: sweep_all [scale] [seed]
+
+use puno_harness::report::{FigureMetric, NormalizedFigure};
+use puno_harness::sweep::sweep;
+use puno_harness::Mechanism;
+use puno_workloads::{table1_rows, WorkloadId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let t0 = std::time::Instant::now();
+    let results = sweep(&WorkloadId::ALL, &Mechanism::ALL, seed, scale);
+    eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!("== Table I check (baseline abort rates) ==");
+    for row in table1_rows() {
+        let m = puno_harness::sweep::find(&results, row.workload, Mechanism::Baseline);
+        let rate = m.htm.abort_rate() * 100.0;
+        let (lo, hi) = row.expected_abort_band;
+        let ok = rate >= lo && rate <= hi;
+        println!(
+            "{:<10} paper {:>5.1}%  ours {:>5.1}%  band [{:>4.1}, {:>5.1}] {}",
+            row.workload.name(),
+            row.paper_abort_pct,
+            rate,
+            lo,
+            hi,
+            if ok { "ok" } else { "OUT OF BAND" }
+        );
+    }
+    println!("\n== Figure 2: false-aborting fraction of TxGETX (baseline) ==");
+    for &w in &WorkloadId::ALL {
+        let m = puno_harness::sweep::find(&results, w, Mechanism::Baseline);
+        println!(
+            "{:<10} {:>5.1}%  (victims/episode mean {:.2})",
+            w.name(),
+            m.oracle.false_abort_fraction() * 100.0,
+            m.oracle.victims_per_episode.mean()
+        );
+    }
+    for metric in [
+        FigureMetric::Aborts,
+        FigureMetric::NetworkTraffic,
+        FigureMetric::DirectoryBlocking,
+        FigureMetric::ExecutionTime,
+        FigureMetric::GdRatio,
+    ] {
+        let fig = NormalizedFigure::build(metric, &results, &WorkloadId::ALL, &Mechanism::ALL);
+        println!("\n{}", fig.render());
+    }
+}

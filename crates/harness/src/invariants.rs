@@ -1,0 +1,139 @@
+//! Global coherence/HTM invariant checking.
+//!
+//! The serializability oracle checks end-to-end value conservation; this
+//! module checks *structural* invariants at a point in time, across every
+//! L1 and directory bank in the system:
+//!
+//! 1. **Single writer**: at most one L1 holds a line in E/M, and then no
+//!    other L1 holds it at all.
+//! 2. **Directory-owner agreement**: if a directory entry is Owned, the
+//!    recorded owner actually holds the line in E/M *or* has a writeback
+//!    in flight for it (PUTX/PUTS racing the forward).
+//! 3. **Sharer conservatism**: every L1 holding a line in S appears in the
+//!    home's sharer list (the reverse is allowed: silent evictions leave
+//!    stale sharers).
+//!
+//! Checks run between events, when no message is "half-applied". They are
+//! expensive (full scan), so the system invokes them through
+//! [`crate::system::System::check_invariants`], which tests call at
+//! chosen points; release experiment runs skip them.
+
+use crate::node::NodeState;
+use puno_coherence::directory::DirectoryBank;
+use puno_coherence::l1::LineState;
+use puno_sim::{LineAddr, NodeId};
+use std::collections::BTreeMap;
+
+/// A detected violation, with enough context to debug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    MultipleWriters {
+        addr: LineAddr,
+        holders: Vec<NodeId>,
+    },
+    WriterWithReaders {
+        addr: LineAddr,
+        writer: NodeId,
+        readers: Vec<NodeId>,
+    },
+    OwnerDisagreement {
+        addr: LineAddr,
+        dir_owner: NodeId,
+    },
+    UntrackedSharer {
+        addr: LineAddr,
+        sharer: NodeId,
+    },
+}
+
+/// Scan the whole system for invariant violations.
+pub fn check(nodes: &[NodeState], dirs: &[DirectoryBank], lines: &[LineAddr]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Gather per-line L1 states.
+    let mut states: BTreeMap<LineAddr, Vec<(NodeId, LineState)>> = BTreeMap::new();
+    for node in nodes {
+        for &addr in lines {
+            if let Some(s) = node.l1.state(addr) {
+                states.entry(addr).or_default().push((node.id, s));
+            }
+        }
+    }
+
+    for &addr in lines {
+        let holders = states.get(&addr).cloned().unwrap_or_default();
+        let writers: Vec<NodeId> = holders
+            .iter()
+            .filter(|(_, s)| s.writable())
+            .map(|(n, _)| *n)
+            .collect();
+        let readers: Vec<NodeId> = holders
+            .iter()
+            .filter(|(_, s)| !s.writable())
+            .map(|(n, _)| *n)
+            .collect();
+
+        // 1. Single writer.
+        if writers.len() > 1 {
+            violations.push(Violation::MultipleWriters {
+                addr,
+                holders: writers.clone(),
+            });
+        }
+        if writers.len() == 1 && !readers.is_empty() {
+            violations.push(Violation::WriterWithReaders {
+                addr,
+                writer: writers[0],
+                readers: readers.clone(),
+            });
+        }
+
+        let home = puno_coherence::home_node(addr, nodes.len() as u16);
+        let bank = &dirs[home.index()];
+        // Skip in-flight episodes: transient states legitimately disagree.
+        if bank.is_busy(addr) {
+            continue;
+        }
+
+        // 2. Directory-owner agreement.
+        if let Some(owner) = bank.owner_of(addr) {
+            let node = &nodes[owner.index()];
+            let holds = node.l1.state(addr).is_some_and(|s| s.writable());
+            let wb_pending = node.wb_buffer.contains_key(&addr);
+            let sticky = node.sticky_owned.contains(&addr);
+            if !holds && !wb_pending && !sticky {
+                violations.push(Violation::OwnerDisagreement {
+                    addr,
+                    dir_owner: owner,
+                });
+            }
+        }
+
+        // 3. Sharer conservatism (S holders tracked at the home).
+        let dir_holders = bank.holders_of(addr);
+        for &(n, s) in &holders {
+            if s == LineState::Shared && !dir_holders.contains(n) {
+                violations.push(Violation::UntrackedSharer { addr, sharer: n });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    // The checker itself is exercised end-to-end through
+    // `System::check_invariants` (see crates/harness/tests and the system
+    // unit tests); here we only pin the violation formatting contract.
+    use super::*;
+
+    #[test]
+    fn violations_carry_debuggable_context() {
+        let v = Violation::MultipleWriters {
+            addr: LineAddr(5),
+            holders: vec![NodeId(1), NodeId(2)],
+        };
+        let text = format!("{v:?}");
+        assert!(text.contains("L0x5"));
+        assert!(text.contains("N1"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # puno-harness
+//!
+//! Full-system assembly: cores executing synthetic transactional programs,
+//! private L1s with HTM units, a banked L2 + blocking MESI directory, the
+//! PUNO predictor at each bank, and the 4x4 mesh NoC — all driven by one
+//! deterministic event loop. On top: the experiment runner (one `RunMetrics`
+//! per (workload, mechanism, seed)), a thread-parallel sweep driver, and the
+//! report formatting that regenerates the paper's tables and figures.
+
+pub mod config;
+pub mod invariants;
+pub mod mechanism;
+pub mod memory;
+pub mod metrics;
+pub mod node;
+pub mod oracle;
+pub mod report;
+pub mod run;
+pub mod sensitivity;
+pub mod sweep;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use mechanism::Mechanism;
+pub use memory::MemoryImage;
+pub use metrics::RunMetrics;
+pub use oracle::FalseAbortOracle;
+pub use run::run_workload;
+pub use sweep::{sweep, SweepResult};
+pub use system::System;

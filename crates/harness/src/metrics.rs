@@ -1,0 +1,111 @@
+//! The measurement record one run produces — everything the paper's tables
+//! and figures are computed from.
+
+use crate::oracle::FalseAbortOracle;
+use puno_coherence::DirStats;
+use puno_core::PunoStats;
+use puno_htm::HtmStats;
+use puno_noc::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub workload: String,
+    pub mechanism: String,
+    pub seed: u64,
+    /// Wall-clock of the run in simulated cycles (Figure 13's quantity:
+    /// fixed work per node, so fewer cycles = faster execution).
+    pub cycles: u64,
+    /// Merged per-node HTM statistics (Figures 10, 14; Table I).
+    pub htm: HtmStats,
+    /// Merged directory statistics (Figure 12).
+    pub dir: DirStats,
+    /// Network statistics (Figure 11).
+    pub traffic_router_traversals: u64,
+    pub traffic_flits_injected: u64,
+    pub traffic_mean_latency: f64,
+    /// Max/mean utilization over non-idle directed links (hotspot skew).
+    pub traffic_link_skew: f64,
+    /// False-abort oracle (Figures 2, 3).
+    pub oracle: FalseAbortOracle,
+    /// PUNO predictor statistics (prediction accuracy; zeroed for other
+    /// mechanisms).
+    pub puno: PunoStats,
+    /// Committed transactions (sanity: nodes x tx_per_node).
+    pub committed: u64,
+}
+
+impl RunMetrics {
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        workload: &str,
+        mechanism: &str,
+        seed: u64,
+        cycles: u64,
+        htm: HtmStats,
+        dir: DirStats,
+        traffic: &TrafficStats,
+        link_skew: f64,
+        oracle: FalseAbortOracle,
+        puno: PunoStats,
+    ) -> Self {
+        let committed = htm.commits.get();
+        Self {
+            workload: workload.to_string(),
+            mechanism: mechanism.to_string(),
+            seed,
+            cycles,
+            htm,
+            dir,
+            traffic_router_traversals: traffic.router_traversals(),
+            traffic_flits_injected: traffic.flits_injected(),
+            traffic_mean_latency: traffic.mean_latency(),
+            traffic_link_skew: link_skew,
+            oracle,
+            puno,
+            committed,
+        }
+    }
+
+    /// Aborts per committed transaction — scale-free contention measure.
+    pub fn aborts_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.htm.aborts.get() as f64 / self.committed as f64
+        }
+    }
+
+    /// Mean directory blocking cycles per transactional GETX (Figure 12).
+    pub fn dir_blocking_per_tx_getx(&self) -> f64 {
+        self.dir.blocking_cycles_tx_getx.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puno_htm::AbortCause;
+
+    #[test]
+    fn derived_metrics() {
+        let mut htm = HtmStats::default();
+        htm.record_commit(100);
+        htm.record_commit(100);
+        htm.record_abort(AbortCause::TxWriteInvalidation, 50);
+        let m = RunMetrics::from_parts(
+            "w",
+            "m",
+            0,
+            1000,
+            htm,
+            DirStats::default(),
+            &TrafficStats::default(),
+            1.0,
+            FalseAbortOracle::default(),
+            PunoStats::default(),
+        );
+        assert_eq!(m.committed, 2);
+        assert!((m.aborts_per_commit() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! The false-abort oracle — ground truth for Figures 2 and 3.
+//!
+//! A transactional GETX that aborts one or more sharer transactions and is
+//! then NACKed by a higher-priority sharer has aborted those transactions
+//! *unnecessarily*: had the multicast been suppressed, they could have kept
+//! running, because the writer did not get the line anyway. The requester
+//! observes both facts — which Acks carried the `aborted` flag and whether
+//! the episode concluded nacked — so the oracle accumulates per-episode
+//! records requester-side, mechanism-independently.
+
+use puno_sim::Histogram;
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FalseAbortOracle {
+    /// Total transactional GETX episodes concluded (Figure 2 denominator).
+    pub tx_getx_episodes: u64,
+    /// Episodes that ended in a NACK.
+    pub nacked_episodes: u64,
+    /// Episodes that ended in a NACK *after* aborting >= 1 sharer — false
+    /// aborting (Figure 2 numerator).
+    pub false_abort_episodes: u64,
+    /// Transactions aborted unnecessarily, total.
+    pub false_aborted_transactions: u64,
+    /// Distribution of the number of transactions aborted unnecessarily per
+    /// false-aborting episode (Figure 3).
+    pub victims_per_episode: Histogram,
+}
+
+impl Default for FalseAbortOracle {
+    fn default() -> Self {
+        Self {
+            tx_getx_episodes: 0,
+            nacked_episodes: 0,
+            false_abort_episodes: 0,
+            false_aborted_transactions: 0,
+            victims_per_episode: Histogram::new(17),
+        }
+    }
+}
+
+impl FalseAbortOracle {
+    /// Record a concluded transactional GETX episode.
+    pub fn record_episode(&mut self, nacked: bool, aborted_sharers: u64) {
+        self.tx_getx_episodes += 1;
+        if nacked {
+            self.nacked_episodes += 1;
+            if aborted_sharers > 0 {
+                self.false_abort_episodes += 1;
+                self.false_aborted_transactions += aborted_sharers;
+                self.victims_per_episode.record(aborted_sharers);
+            }
+        }
+    }
+
+    /// Fraction of transactional GETX requests that incur false aborting
+    /// (the Figure 2 bar).
+    pub fn false_abort_fraction(&self) -> f64 {
+        if self.tx_getx_episodes == 0 {
+            0.0
+        } else {
+            self.false_abort_episodes as f64 / self.tx_getx_episodes as f64
+        }
+    }
+
+    /// Fraction of episodes that were nacked at all.
+    pub fn nack_fraction(&self) -> f64 {
+        if self.tx_getx_episodes == 0 {
+            0.0
+        } else {
+            self.nacked_episodes as f64 / self.tx_getx_episodes as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &FalseAbortOracle) {
+        self.tx_getx_episodes += other.tx_getx_episodes;
+        self.nacked_episodes += other.nacked_episodes;
+        self.false_abort_episodes += other.false_abort_episodes;
+        self.false_aborted_transactions += other.false_aborted_transactions;
+        self.victims_per_episode.merge(&other.victims_per_episode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_abort_requires_both_nack_and_victims() {
+        let mut o = FalseAbortOracle::default();
+        o.record_episode(false, 3); // granted: true conflict resolution
+        o.record_episode(true, 0); // nacked but nobody aborted: clean stall
+        o.record_episode(true, 2); // false aborting, 2 victims
+        assert_eq!(o.tx_getx_episodes, 3);
+        assert_eq!(o.false_abort_episodes, 1);
+        assert_eq!(o.false_aborted_transactions, 2);
+        assert!((o.false_abort_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn victims_histogram_tracks_distribution() {
+        let mut o = FalseAbortOracle::default();
+        for victims in [1, 1, 5, 2] {
+            o.record_episode(true, victims);
+        }
+        assert_eq!(o.victims_per_episode.bucket(1), Some(2));
+        assert_eq!(o.victims_per_episode.bucket(5), Some(1));
+        assert_eq!(o.victims_per_episode.count(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FalseAbortOracle::default();
+        let mut b = FalseAbortOracle::default();
+        a.record_episode(true, 1);
+        b.record_episode(true, 4);
+        b.record_episode(false, 0);
+        a.merge(&b);
+        assert_eq!(a.tx_getx_episodes, 3);
+        assert_eq!(a.false_aborted_transactions, 5);
+    }
+}

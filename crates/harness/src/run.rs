@@ -1,0 +1,35 @@
+//! Single-experiment entry point.
+
+use crate::config::SystemConfig;
+use crate::mechanism::Mechanism;
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use puno_workloads::WorkloadParams;
+
+/// Run `params` under `mechanism` on the paper's Table II system.
+pub fn run_workload(mechanism: Mechanism, params: &WorkloadParams, seed: u64) -> RunMetrics {
+    let config = SystemConfig::paper(mechanism);
+    System::new(config, params, seed).run()
+}
+
+/// Run with a custom configuration (ablations, sensitivity sweeps).
+pub fn run_with_config(config: SystemConfig, params: &WorkloadParams, seed: u64) -> RunMetrics {
+    System::new(config, params, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puno_workloads::micro;
+
+    #[test]
+    fn all_mechanisms_complete_the_same_offered_load() {
+        let params = micro::read_mostly(15);
+        let mut committed = Vec::new();
+        for mech in Mechanism::ALL {
+            let m = run_workload(mech, &params, 2);
+            committed.push(m.committed);
+        }
+        assert!(committed.windows(2).all(|w| w[0] == w[1]), "{committed:?}");
+    }
+}

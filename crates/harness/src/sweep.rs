@@ -1,0 +1,133 @@
+//! Thread-parallel experiment sweeps.
+//!
+//! Each simulation run is single-threaded and deterministic; the sweep
+//! fans (workload x mechanism x seed) combinations across OS threads via
+//! `crossbeam::scope` and reassembles results in a deterministic order.
+
+use crate::metrics::RunMetrics;
+use crate::run::run_workload;
+use crate::Mechanism;
+use parking_lot::Mutex;
+use puno_workloads::{WorkloadId, WorkloadParams};
+
+/// One sweep cell: the workload, the mechanism, and the run result.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    pub workload: WorkloadId,
+    pub mechanism: Mechanism,
+    pub metrics: RunMetrics,
+}
+
+/// Run `workloads x mechanisms` (single seed) in parallel. `scale` shrinks
+/// or grows each workload's transaction count (1.0 = paper-sized runs).
+pub fn sweep(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    seed: u64,
+    scale: f64,
+) -> Vec<SweepResult> {
+    let jobs: Vec<(WorkloadId, Mechanism, WorkloadParams)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            let params = w.params().scaled(scale);
+            mechanisms
+                .iter()
+                .map(move |&m| (w, m, params.clone()))
+        })
+        .collect();
+
+    let results: Mutex<Vec<(usize, SweepResult)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (w, m, ref params) = jobs[i];
+                let metrics = run_workload(m, params, seed);
+                results.lock().push((
+                    i,
+                    SweepResult {
+                        workload: w,
+                        mechanism: m,
+                        metrics,
+                    },
+                ));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run the sweep for several seeds (one full sweep per seed, all cells
+/// parallelized together would interleave seeds nondeterministically in the
+/// worker order, but results are keyed, so we simply run per-seed sweeps).
+pub fn sweep_seeds(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    seeds: &[u64],
+    scale: f64,
+) -> Vec<Vec<SweepResult>> {
+    seeds
+        .iter()
+        .map(|&s| sweep(workloads, mechanisms, s, scale))
+        .collect()
+}
+
+/// Find one cell in a sweep result set.
+pub fn find(
+    results: &[SweepResult],
+    workload: WorkloadId,
+    mechanism: Mechanism,
+) -> &RunMetrics {
+    &results
+        .iter()
+        .find(|r| r.workload == workload && r.mechanism == mechanism)
+        .unwrap_or_else(|| panic!("missing cell {workload:?}/{mechanism:?}"))
+        .metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_returns_all_cells_in_order() {
+        let workloads = [WorkloadId::Ssca2, WorkloadId::Kmeans];
+        let mechanisms = [Mechanism::Baseline, Mechanism::Puno];
+        let results = sweep(&workloads, &mechanisms, 1, 0.05);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].workload, WorkloadId::Ssca2);
+        assert_eq!(results[0].mechanism, Mechanism::Baseline);
+        assert_eq!(results[3].workload, WorkloadId::Kmeans);
+        assert_eq!(results[3].mechanism, Mechanism::Puno);
+        let m = find(&results, WorkloadId::Kmeans, Mechanism::Puno);
+        assert!(m.committed > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_run() {
+        let results = sweep(&[WorkloadId::Ssca2], &[Mechanism::Baseline], 7, 0.05);
+        let serial = run_workload(
+            Mechanism::Baseline,
+            &WorkloadId::Ssca2.params().scaled(0.05),
+            7,
+        );
+        assert_eq!(results[0].metrics.cycles, serial.cycles);
+        assert_eq!(
+            results[0].metrics.htm.aborts.get(),
+            serial.htm.aborts.get()
+        );
+    }
+}

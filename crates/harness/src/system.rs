@@ -1,0 +1,523 @@
+//! The assembled system and its deterministic event loop.
+
+use crate::config::SystemConfig;
+use crate::mechanism::Mechanism;
+use crate::memory::MemoryImage;
+use crate::metrics::RunMetrics;
+use crate::node::{Effects, NodeState};
+use crate::oracle::FalseAbortOracle;
+use puno_coherence::directory::{DirAction, DirectoryBank};
+use puno_coherence::l1::L1Cache;
+use puno_coherence::msg::{CoherenceMsg, TxInfo};
+use puno_coherence::predictor::{NullPredictor, PredictedTarget, UnicastPredictor};
+use puno_coherence::sharers::SharerSet;
+use puno_core::{PunoPredictor, PunoStats, TxLengthBuffer};
+use puno_htm::rmw::RmwPredictor;
+use puno_htm::unit::HtmUnit;
+use puno_htm::{BackoffEngine, HtmStats};
+use puno_noc::Network;
+use puno_sim::{Cycle, EventQueue, LineAddr, NodeId, SimRng};
+use puno_workloads::{generate_program, WorkloadParams};
+
+/// Simulation events.
+#[derive(Debug)]
+enum Event {
+    /// Resume a node's core FSM (stale epochs are dropped).
+    NodeWake { node: NodeId, epoch: u64 },
+    /// Advance the network one cycle (re-armed while packets are in
+    /// flight).
+    NetStep,
+    /// A delayed directory send (L2 access / prediction latency elapsed).
+    DirSend {
+        home: NodeId,
+        dst: NodeId,
+        msg: CoherenceMsg,
+    },
+    /// Off-chip memory fetch finished at a home bank.
+    MemReady { home: NodeId, addr: LineAddr },
+}
+
+/// Per-bank predictor: baseline banks never unicast; PUNO banks run the
+/// P-Buffer/UD machinery.
+enum PredictorImpl {
+    Null(NullPredictor),
+    Puno(Box<PunoPredictor>),
+}
+
+impl UnicastPredictor for PredictorImpl {
+    fn observe_request(&mut self, now: Cycle, node: NodeId, info: &TxInfo) {
+        match self {
+            PredictorImpl::Null(p) => p.observe_request(now, node, info),
+            PredictorImpl::Puno(p) => p.observe_request(now, node, info),
+        }
+    }
+
+    fn predict_unicast(
+        &mut self,
+        now: Cycle,
+        addr: LineAddr,
+        requester: NodeId,
+        req: &TxInfo,
+        holders: SharerSet,
+        exclusive_owner: bool,
+    ) -> Option<PredictedTarget> {
+        match self {
+            PredictorImpl::Null(p) => {
+                p.predict_unicast(now, addr, requester, req, holders, exclusive_owner)
+            }
+            PredictorImpl::Puno(p) => {
+                p.predict_unicast(now, addr, requester, req, holders, exclusive_owner)
+            }
+        }
+    }
+
+    fn on_mispredict_feedback(&mut self, now: Cycle, addr: LineAddr, node: NodeId) {
+        match self {
+            PredictorImpl::Null(p) => p.on_mispredict_feedback(now, addr, node),
+            PredictorImpl::Puno(p) => p.on_mispredict_feedback(now, addr, node),
+        }
+    }
+
+    fn after_service(&mut self, now: Cycle, addr: LineAddr, holders: SharerSet) {
+        match self {
+            PredictorImpl::Null(p) => p.after_service(now, addr, holders),
+            PredictorImpl::Puno(p) => p.after_service(now, addr, holders),
+        }
+    }
+
+    fn decision_latency(&self) -> Cycle {
+        match self {
+            PredictorImpl::Null(p) => p.decision_latency(),
+            PredictorImpl::Puno(p) => p.decision_latency(),
+        }
+    }
+}
+
+pub struct System {
+    config: SystemConfig,
+    workload_name: String,
+    seed: u64,
+    queue: EventQueue<Event>,
+    network: Network<CoherenceMsg>,
+    nodes: Vec<NodeState>,
+    dirs: Vec<DirectoryBank>,
+    predictors: Vec<PredictorImpl>,
+    memory: MemoryImage,
+    oracle: FalseAbortOracle,
+    net_step_armed: bool,
+    nodes_done: usize,
+    finish_cycle: Cycle,
+    trace: puno_sim::TraceRing,
+}
+
+impl System {
+    /// Assemble a system running `params` under `config.mechanism`.
+    pub fn new(config: SystemConfig, params: &WorkloadParams, seed: u64) -> Self {
+        let nodes_n = config.nodes();
+        let root_rng = SimRng::new(seed);
+        let mut queue = EventQueue::new();
+        let mut nodes = Vec::with_capacity(nodes_n as usize);
+        for i in 0..nodes_n {
+            let id = NodeId(i);
+            let rmw = config
+                .mechanism
+                .uses_rmw_predictor()
+                .then(RmwPredictor::paper);
+            let mut node = NodeState::new(
+                id,
+                nodes_n,
+                L1Cache::new(config.l1),
+                HtmUnit::new(id, config.abort_timing, rmw),
+                TxLengthBuffer::new(config.puno.txlb_entries),
+                BackoffEngine::new(
+                    config.mechanism.backoff_kind(),
+                    config.backoff,
+                    root_rng.derive(0xB0FF ^ i as u64),
+                ),
+                generate_program(params, id, seed),
+                config.commit_latency,
+                config.mechanism.uses_puno() && config.puno.notification_enabled,
+            );
+            node.set_wakeup_hints(config.mechanism.uses_puno() && config.puno.wakeup_hints);
+            if let Some(sig_cfg) = config.signatures {
+                node.htm.enable_signatures(sig_cfg);
+            }
+            queue.schedule_at(0, Event::NodeWake { node: id, epoch: 0 });
+            nodes.push(node);
+        }
+        let dirs = (0..nodes_n)
+            .map(|i| DirectoryBank::new(NodeId(i), config.dir))
+            .collect();
+        // The P-Buffer has exactly one entry per node (Table II); size it
+        // to the mesh so non-4x4 configurations work and so the predictor's
+        // timestamp decoding (begin = ts / nodes) stays correct.
+        let mut puno_cfg = config.puno;
+        puno_cfg.pbuffer_entries = nodes_n as usize;
+        let predictors = (0..nodes_n)
+            .map(|_| {
+                if config.mechanism.uses_puno() {
+                    PredictorImpl::Puno(Box::new(PunoPredictor::new(puno_cfg)))
+                } else {
+                    PredictorImpl::Null(NullPredictor)
+                }
+            })
+            .collect();
+        Self {
+            workload_name: params.name.clone(),
+            seed,
+            queue,
+            network: Network::new(config.mesh, config.noc),
+            nodes,
+            dirs,
+            predictors,
+            memory: MemoryImage::new(),
+            oracle: FalseAbortOracle::default(),
+            net_step_armed: false,
+            nodes_done: 0,
+            finish_cycle: 0,
+            trace: puno_sim::TraceRing::disabled(),
+            config,
+        }
+    }
+
+    /// Keep the last `capacity` delivered protocol messages for debugging;
+    /// retrieve them with [`System::trace_dump`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = puno_sim::TraceRing::enabled(capacity);
+    }
+
+    /// Render the retained message trace.
+    pub fn trace_dump(&self) -> String {
+        self.trace.dump()
+    }
+
+    pub fn memory(&self) -> &MemoryImage {
+        &self.memory
+    }
+
+    /// Scan the structural coherence invariants over `lines`
+    /// (single-writer/multi-reader, directory-owner agreement, sharer
+    /// conservatism). Expensive; meant for tests.
+    pub fn check_invariants(&self, lines: &[LineAddr]) -> Vec<crate::invariants::Violation> {
+        crate::invariants::check(&self.nodes, &self.dirs, lines)
+    }
+
+    /// Run to completion like [`System::run_full`], additionally scanning
+    /// the structural invariants over `lines` every `every` events and
+    /// panicking on the first violation.
+    pub fn run_checked(mut self, lines: &[LineAddr], every: u64) -> (RunMetrics, MemoryImage) {
+        assert!(every > 0);
+        let mut events = 0u64;
+        while self.nodes_done < self.nodes.len() {
+            let Some((now, event)) = self.queue.pop() else {
+                panic!("protocol deadlock");
+            };
+            assert!(now < self.config.max_cycles, "livelock guard");
+            self.dispatch_event(now, event);
+            events += 1;
+            if events.is_multiple_of(every) {
+                let violations = self.check_invariants(lines);
+                assert!(
+                    violations.is_empty(),
+                    "coherence invariants violated at cycle {now}: {violations:?}"
+                );
+            }
+        }
+        let memory = std::mem::take(&mut self.memory);
+        (self.finalize(), memory)
+    }
+
+    pub fn mechanism(&self) -> Mechanism {
+        self.config.mechanism
+    }
+
+    /// Process one popped event (shared by every run loop).
+    fn dispatch_event(&mut self, now: Cycle, event: Event) {
+        match event {
+            Event::NodeWake { node, epoch } => self.on_node_wake(now, node, epoch),
+            Event::NetStep => self.on_net_step(now),
+            Event::DirSend { home, dst, msg } => self.inject(now, home, dst, msg),
+            Event::MemReady { home, addr } => {
+                let actions = self.dirs[home.index()].mem_ready(
+                    now,
+                    addr,
+                    &mut self.predictors[home.index()],
+                );
+                self.apply_dir_actions(now, home, actions);
+            }
+        }
+    }
+
+    /// Run to completion and return the metrics.
+    pub fn run(self) -> RunMetrics {
+        self.run_full().0
+    }
+
+    /// Run to completion keeping the last `capacity` delivered protocol
+    /// messages; returns the metrics and the rendered trace.
+    pub fn run_traced(mut self, capacity: usize) -> (RunMetrics, String) {
+        self.enable_trace(capacity);
+        let mut me = self;
+        while me.nodes_done < me.nodes.len() {
+            let Some((now, event)) = me.queue.pop() else {
+                panic!("protocol deadlock; trace:\n{}", me.trace.dump());
+            };
+            assert!(
+                now < me.config.max_cycles,
+                "livelock guard; trace:\n{}",
+                me.trace.dump()
+            );
+            me.dispatch_event(now, event);
+        }
+        let dump = me.trace.dump();
+        (me.finalize(), dump)
+    }
+
+    /// Run to completion, returning both the metrics and the final memory
+    /// image (for serializability checking).
+    pub fn run_full(mut self) -> (RunMetrics, MemoryImage) {
+        while self.nodes_done < self.nodes.len() {
+            let Some((now, event)) = self.queue.pop() else {
+                panic!(
+                    "event queue drained with {} of {} nodes unfinished ({} @ seed {}) — protocol deadlock",
+                    self.nodes.len() - self.nodes_done,
+                    self.nodes.len(),
+                    self.workload_name,
+                    self.seed
+                );
+            };
+            assert!(
+                now < self.config.max_cycles,
+                "exceeded max_cycles ({}) on {} seed {} — livelock guard",
+                self.config.max_cycles,
+                self.workload_name,
+                self.seed
+            );
+            self.dispatch_event(now, event);
+        }
+        let memory = std::mem::take(&mut self.memory);
+        (self.finalize(), memory)
+    }
+
+    fn on_node_wake(&mut self, now: Cycle, node: NodeId, epoch: u64) {
+        let idx = node.index();
+        if self.nodes[idx].epoch != epoch || self.nodes[idx].is_done() {
+            return; // stale wake (control flow was redirected by an abort)
+        }
+        if self.nodes[idx].phase != crate::node::Phase::Ready {
+            return; // blocked on the MSHR; its completion will reschedule
+        }
+        let eff = self.nodes[idx].step(now, &mut self.memory);
+        self.apply_effects(now, node, eff);
+    }
+
+    fn on_net_step(&mut self, now: Cycle) {
+        let delivered = self.network.step(now);
+        if self.network.is_idle() {
+            self.net_step_armed = false;
+        } else {
+            self.queue.schedule_at(now + 1, Event::NetStep);
+        }
+        for (dst, msg) in delivered {
+            self.deliver(now, dst, msg);
+        }
+    }
+
+    fn deliver(&mut self, now: Cycle, dst: NodeId, msg: CoherenceMsg) {
+        self.trace.record(now, || format!("-> {dst:?}: {msg:?}"));
+        match &msg {
+            // Home-directory traffic.
+            CoherenceMsg::Gets { .. }
+            | CoherenceMsg::Getx { .. }
+            | CoherenceMsg::Putx { .. }
+            | CoherenceMsg::Puts { .. }
+            | CoherenceMsg::Unblock { .. }
+            | CoherenceMsg::WbData { .. } => {
+                debug_assert_eq!(
+                    dst,
+                    puno_coherence::home_node(msg.addr(), self.config.nodes()),
+                    "directory message delivered to a non-home node"
+                );
+                let actions =
+                    self.dirs[dst.index()].handle(now, msg, &mut self.predictors[dst.index()]);
+                self.apply_dir_actions(now, dst, actions);
+            }
+            // Forwards to sharers/owners.
+            CoherenceMsg::Inv { .. } | CoherenceMsg::FwdGets { .. } | CoherenceMsg::FwdGetx { .. } => {
+                let eff = self.nodes[dst.index()].on_forward(now, &msg, &mut self.memory);
+                self.apply_effects(now, dst, eff);
+            }
+            // Responses to a requester (or WbAck to an evictor).
+            CoherenceMsg::Data { .. }
+            | CoherenceMsg::UpgradeAck { .. }
+            | CoherenceMsg::Ack { .. }
+            | CoherenceMsg::Nack { .. }
+            | CoherenceMsg::WbAck { .. } => {
+                let eff = self.nodes[dst.index()].on_response(now, &msg, &mut self.memory);
+                self.apply_effects(now, dst, eff);
+            }
+            // Extension: early end of a notified backoff.
+            CoherenceMsg::WakeupHint { addr, .. } => {
+                let eff = self.nodes[dst.index()].on_wakeup_hint(now, *addr);
+                self.apply_effects(now, dst, eff);
+            }
+        }
+    }
+
+    fn apply_dir_actions(&mut self, now: Cycle, home: NodeId, actions: Vec<DirAction>) {
+        for action in actions {
+            match action {
+                DirAction::Send { dst, msg, delay } => {
+                    if delay == 0 {
+                        self.inject(now, home, dst, msg);
+                    } else {
+                        self.queue
+                            .schedule_at(now + delay, Event::DirSend { home, dst, msg });
+                    }
+                }
+                DirAction::FetchMem { addr, delay } => {
+                    self.queue
+                        .schedule_at(now + delay, Event::MemReady { home, addr });
+                }
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, now: Cycle, node: NodeId, eff: Effects) {
+        for (dst, msg) in eff.sends {
+            self.inject(now, node, dst, msg);
+        }
+        if let Some(at) = eff.wake_at {
+            let epoch = self.nodes[node.index()].epoch;
+            self.queue
+                .schedule_at(at.max(now), Event::NodeWake { node, epoch });
+        }
+        if let Some((nacked, aborted)) = eff.oracle_episode {
+            self.oracle.record_episode(nacked, aborted);
+        }
+        if eff.finished {
+            self.nodes_done += 1;
+            self.finish_cycle = self.finish_cycle.max(now);
+        }
+    }
+
+    fn inject(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: CoherenceMsg) {
+        let vnet = msg.vnet();
+        let flits = msg.flits();
+        self.network.inject(now, src, dst, vnet, flits, msg);
+        if !self.net_step_armed {
+            self.net_step_armed = true;
+            self.queue.schedule_at(now + 1, Event::NetStep);
+        }
+    }
+
+    fn finalize(self) -> RunMetrics {
+        let mut htm = HtmStats::default();
+        for n in &self.nodes {
+            htm.merge(n.htm.stats());
+        }
+        let mut dir = puno_coherence::DirStats::default();
+        for d in &self.dirs {
+            dir.merge(d.stats());
+        }
+        let mut puno = PunoStats::default();
+        for p in &self.predictors {
+            if let PredictorImpl::Puno(pp) = p {
+                puno.merge(pp.stats());
+            }
+        }
+        RunMetrics::from_parts(
+            &self.workload_name,
+            self.config.mechanism.name(),
+            self.seed,
+            self.finish_cycle,
+            htm,
+            dir,
+            self.network.stats(),
+            self.network.link_stats().skew(),
+            self.oracle,
+            puno,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puno_workloads::micro;
+
+    fn run(mechanism: Mechanism, params: &WorkloadParams, seed: u64) -> RunMetrics {
+        let config = SystemConfig::paper(mechanism);
+        System::new(config, params, seed).run()
+    }
+
+    #[test]
+    fn private_workload_commits_everything_without_aborts() {
+        let params = micro::private_only(20);
+        let m = run(Mechanism::Baseline, &params, 1);
+        assert_eq!(m.committed, 16 * 20);
+        assert_eq!(m.htm.aborts.get(), 0);
+        assert_eq!(m.oracle.false_abort_episodes, 0);
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn counter_workload_is_serializable() {
+        // Every committed transactional write is an increment; the final
+        // memory values must sum to exactly the number of committed writes.
+        let params = micro::counter(4, 25);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let (metrics, memory) = System::new(config, &params, 3).run_full();
+        assert_eq!(metrics.committed, 16 * 25);
+        let total: u64 = (0..4).map(|i| memory.read(LineAddr(i))).sum();
+        // Each committed counter transaction performs exactly one write.
+        assert_eq!(total, 16 * 25, "lost or duplicated committed increments");
+    }
+
+    #[test]
+    fn hotspot_baseline_exhibits_false_aborting() {
+        let params = micro::hotspot(30);
+        let m = run(Mechanism::Baseline, &params, 5);
+        assert!(m.htm.aborts.get() > 0, "hotspot must conflict");
+        assert!(
+            m.oracle.false_abort_episodes > 0,
+            "multicast under contention must produce false aborts"
+        );
+    }
+
+    #[test]
+    fn puno_reduces_aborts_on_hotspot() {
+        let params = micro::hotspot(30);
+        let base = run(Mechanism::Baseline, &params, 5);
+        let puno = run(Mechanism::Puno, &params, 5);
+        assert_eq!(base.committed, puno.committed, "same offered work");
+        assert!(
+            (puno.htm.aborts.get() as f64) < base.htm.aborts.get() as f64 * 0.9,
+            "PUNO {} vs baseline {} aborts",
+            puno.htm.aborts.get(),
+            base.htm.aborts.get()
+        );
+        assert!(puno.puno.unicasts.get() > 0, "prediction must engage");
+    }
+
+    #[test]
+    fn invariants_hold_throughout_a_contended_run() {
+        // Scan single-writer/multi-reader + directory agreement every 64
+        // events across the whole hotspot region.
+        let params = micro::hotspot(10);
+        let lines: Vec<LineAddr> = (0..8).map(LineAddr).collect();
+        let config = SystemConfig::paper(Mechanism::Puno);
+        let (metrics, _) = System::new(config, &params, 5).run_checked(&lines, 64);
+        assert_eq!(metrics.committed, 16 * 10);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let params = micro::hotspot(10);
+        let a = run(Mechanism::Puno, &params, 9);
+        let b = run(Mechanism::Puno, &params, 9);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.htm.aborts.get(), b.htm.aborts.get());
+        assert_eq!(a.traffic_router_traversals, b.traffic_router_traversals);
+    }
+}

@@ -1,0 +1,93 @@
+//! Undo log for eager version management.
+//!
+//! Speculative stores write the new value in place; the pre-transaction value
+//! is appended to a log. Abort walks the log *backwards* restoring old
+//! values — that reverse order matters when a transaction writes the same
+//! line twice (only the oldest value must survive). The baseline HTM keeps
+//! a hardware buffer of pre-transaction state for fast abort recovery
+//! (Section IV-A), modeled as a per-entry unroll cost at abort time.
+
+use puno_sim::LineAddr;
+
+/// One logged pre-store value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    pub addr: LineAddr,
+    pub old_value: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog {
+    entries: Vec<LogEntry>,
+}
+
+impl UndoLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the pre-store value of `addr`. Called on *every* store; the
+    /// hardware does not deduplicate (the log is append-only).
+    pub fn record(&mut self, addr: LineAddr, old_value: u64) {
+        self.entries.push(LogEntry { addr, old_value });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drain entries in rollback (reverse) order.
+    pub fn drain_rollback(&mut self) -> impl Iterator<Item = LogEntry> + '_ {
+        self.entries.drain(..).rev()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rollback_restores_oldest_value_on_double_write() {
+        let mut mem: HashMap<LineAddr, u64> = HashMap::new();
+        mem.insert(LineAddr(1), 10);
+        let mut log = UndoLog::new();
+
+        // tx writes 20 then 30 to the same line.
+        log.record(LineAddr(1), mem[&LineAddr(1)]);
+        mem.insert(LineAddr(1), 20);
+        log.record(LineAddr(1), mem[&LineAddr(1)]);
+        mem.insert(LineAddr(1), 30);
+
+        for e in log.drain_rollback() {
+            mem.insert(e.addr, e.old_value);
+        }
+        assert_eq!(mem[&LineAddr(1)], 10);
+    }
+
+    #[test]
+    fn commit_discards_log() {
+        let mut log = UndoLog::new();
+        log.record(LineAddr(1), 5);
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rollback_order_is_reverse() {
+        let mut log = UndoLog::new();
+        log.record(LineAddr(1), 1);
+        log.record(LineAddr(2), 2);
+        let order: Vec<_> = log.drain_rollback().map(|e| e.addr).collect();
+        assert_eq!(order, vec![LineAddr(2), LineAddr(1)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-transaction read and write sets.
+//!
+//! The hardware tracks transactional footprints at cache-line granularity;
+//! the simulator keeps exact sets (a hardware design would add signatures,
+//! but the paper's baseline is a LogTM-style design with precise tracking
+//! backed by sticky directory state, which our silent-S-eviction protocol
+//! reproduces).
+
+use puno_sim::LineAddr;
+use std::collections::BTreeSet;
+
+/// Exact read/write sets for one transaction attempt.
+#[derive(Clone, Debug, Default)]
+pub struct ReadWriteSets {
+    reads: BTreeSet<LineAddr>,
+    writes: BTreeSet<LineAddr>,
+}
+
+impl ReadWriteSets {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_read(&mut self, addr: LineAddr) {
+        self.reads.insert(addr);
+    }
+
+    pub fn record_write(&mut self, addr: LineAddr) {
+        self.writes.insert(addr);
+    }
+
+    #[inline]
+    pub fn in_read_set(&self, addr: LineAddr) -> bool {
+        self.reads.contains(&addr)
+    }
+
+    #[inline]
+    pub fn in_write_set(&self, addr: LineAddr) -> bool {
+        self.writes.contains(&addr)
+    }
+
+    /// Does an incoming access conflict with this footprint under the
+    /// single-writer / multi-reader invariant?
+    pub fn conflicts_with(&self, addr: LineAddr, incoming_is_write: bool) -> bool {
+        if incoming_is_write {
+            self.in_read_set(addr) || self.in_write_set(addr)
+        } else {
+            self.in_write_set(addr)
+        }
+    }
+
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    pub fn reads(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.reads.iter().copied()
+    }
+
+    pub fn writes(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.writes.iter().copied()
+    }
+
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_read_sharing_is_not_a_conflict() {
+        let mut s = ReadWriteSets::new();
+        s.record_read(LineAddr(1));
+        assert!(!s.conflicts_with(LineAddr(1), false));
+        assert!(s.conflicts_with(LineAddr(1), true));
+    }
+
+    #[test]
+    fn write_conflicts_with_everything() {
+        let mut s = ReadWriteSets::new();
+        s.record_write(LineAddr(2));
+        assert!(s.conflicts_with(LineAddr(2), false));
+        assert!(s.conflicts_with(LineAddr(2), true));
+    }
+
+    #[test]
+    fn untouched_lines_never_conflict() {
+        let s = ReadWriteSets::new();
+        assert!(!s.conflicts_with(LineAddr(9), true));
+    }
+
+    #[test]
+    fn counts_and_clear() {
+        let mut s = ReadWriteSets::new();
+        s.record_read(LineAddr(1));
+        s.record_read(LineAddr(1));
+        s.record_read(LineAddr(2));
+        s.record_write(LineAddr(2));
+        assert_eq!(s.read_count(), 2);
+        assert_eq!(s.write_count(), 1);
+        s.clear();
+        assert_eq!(s.read_count(), 0);
+        assert_eq!(s.write_count(), 0);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = ReadWriteSets::new();
+        s.record_write(LineAddr(9));
+        s.record_write(LineAddr(3));
+        let v: Vec<_> = s.writes().collect();
+        assert_eq!(v, vec![LineAddr(3), LineAddr(9)]);
+    }
+}

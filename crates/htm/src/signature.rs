@@ -1,0 +1,244 @@
+//! Bloom-filter read/write signatures — the LogTM-SE-style alternative to
+//! exact footprint tracking.
+//!
+//! The paper's baseline tracks footprints precisely; signature-based HTMs
+//! (which the paper cites as the decoupled alternative) hash line addresses
+//! into fixed-size bit vectors instead. Signatures never miss a true
+//! conflict (no false negatives) but *alias*: unrelated addresses can map to
+//! the same bits and manufacture conflicts that abort transactions
+//! needlessly — a second, orthogonal source of unnecessary aborts next to
+//! the paper's false aborting. The harness exposes signatures as an
+//! ablation (`AbortCause` statistics separate alias-induced conflicts), and
+//! this module is exact about the guarantee: `maybe_conflicts` is a
+//! superset test of the precise footprint.
+
+use puno_sim::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Signature geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Bit-vector length; must be a power of two.
+    pub bits: u32,
+    /// Hash functions per insert (k).
+    pub hashes: u32,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        // LogTM-SE-class sizing: 2 Kbit, k=2.
+        Self { bits: 2048, hashes: 2 }
+    }
+}
+
+/// One Bloom signature.
+#[derive(Clone, Debug)]
+pub struct Signature {
+    config: SignatureConfig,
+    words: Vec<u64>,
+    inserted: u32,
+}
+
+#[inline]
+fn mix(addr: u64, salt: u64) -> u64 {
+    // Fibonacci-style multiplicative hashing with per-function salts.
+    let mut x = addr
+        .wrapping_add(salt)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 32)
+}
+
+impl Signature {
+    pub fn new(config: SignatureConfig) -> Self {
+        assert!(config.bits.is_power_of_two() && config.bits >= 64);
+        assert!(config.hashes >= 1);
+        Self {
+            config,
+            words: vec![0; config.bits as usize / 64],
+            inserted: 0,
+        }
+    }
+
+    fn bit_of(&self, addr: LineAddr, k: u32) -> (usize, u64) {
+        let h = mix(addr.0, (k as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+        let bit = (h & (self.config.bits as u64 - 1)) as usize;
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    pub fn insert(&mut self, addr: LineAddr) {
+        for k in 0..self.config.hashes {
+            let (w, m) = self.bit_of(addr, k);
+            self.words[w] |= m;
+        }
+        self.inserted += 1;
+    }
+
+    /// Superset membership test: never false-negative.
+    pub fn maybe_contains(&self, addr: LineAddr) -> bool {
+        (0..self.config.hashes).all(|k| {
+            let (w, m) = self.bit_of(addr, k);
+            self.words[w] & m != 0
+        })
+    }
+
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Fraction of bits set (aliasing pressure).
+    pub fn saturation(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.config.bits as f64
+    }
+
+    pub fn inserted(&self) -> u32 {
+        self.inserted
+    }
+}
+
+/// A read/write signature pair with the single-writer/multi-reader conflict
+/// test, mirroring `ReadWriteSets::conflicts_with` conservatively.
+#[derive(Clone, Debug)]
+pub struct SignaturePair {
+    pub read: Signature,
+    pub write: Signature,
+}
+
+impl SignaturePair {
+    pub fn new(config: SignatureConfig) -> Self {
+        Self {
+            read: Signature::new(config),
+            write: Signature::new(config),
+        }
+    }
+
+    pub fn record_read(&mut self, addr: LineAddr) {
+        self.read.insert(addr);
+    }
+
+    pub fn record_write(&mut self, addr: LineAddr) {
+        self.write.insert(addr);
+    }
+
+    /// Conservative conflict test (superset of the exact one).
+    pub fn maybe_conflicts(&self, addr: LineAddr, incoming_is_write: bool) -> bool {
+        if incoming_is_write {
+            self.read.maybe_contains(addr) || self.write.maybe_contains(addr)
+        } else {
+            self.write.maybe_contains(addr)
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.read.clear();
+        self.write.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwset::ReadWriteSets;
+    use puno_sim::SimRng;
+
+    fn sig() -> Signature {
+        Signature::new(SignatureConfig::default())
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let mut s = sig();
+        let mut rng = SimRng::new(1);
+        let addrs: Vec<LineAddr> = (0..200).map(|_| LineAddr(rng.next_u64() >> 8)).collect();
+        for &a in &addrs {
+            s.insert(a);
+        }
+        for &a in &addrs {
+            assert!(s.maybe_contains(a), "false negative for {a:?}");
+        }
+    }
+
+    #[test]
+    fn empty_signature_matches_nothing() {
+        let s = sig();
+        for a in 0..100 {
+            assert!(!s.maybe_contains(LineAddr(a)));
+        }
+        assert_eq!(s.saturation(), 0.0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_sane_at_htm_footprints() {
+        // 64 inserted lines into 2048 bits / k=2: theory predicts ~0.4%
+        // false positives; assert an order-of-magnitude envelope.
+        let mut s = sig();
+        for i in 0..64u64 {
+            s.insert(LineAddr(i * 977));
+        }
+        let probes = 20_000u64;
+        let fp = (0..probes)
+            .filter(|i| s.maybe_contains(LineAddr(1_000_000 + i * 131)))
+            .count();
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "false-positive rate {rate} too high");
+    }
+
+    #[test]
+    fn saturation_grows_with_inserts() {
+        let mut s = sig();
+        s.insert(LineAddr(1));
+        let one = s.saturation();
+        for i in 2..500 {
+            s.insert(LineAddr(i * 31));
+        }
+        assert!(s.saturation() > one);
+        assert!(s.saturation() <= 1.0);
+        s.clear();
+        assert_eq!(s.saturation(), 0.0);
+        assert_eq!(s.inserted(), 0);
+    }
+
+    #[test]
+    fn pair_is_superset_of_exact_sets() {
+        let mut exact = ReadWriteSets::new();
+        let mut sigs = SignaturePair::new(SignatureConfig::default());
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let a = LineAddr(rng.gen_range(1 << 20));
+            if rng.gen_bool(0.5) {
+                exact.record_read(a);
+                sigs.record_read(a);
+            } else {
+                exact.record_write(a);
+                sigs.record_write(a);
+            }
+        }
+        for probe in 0..(1u64 << 12) {
+            let a = LineAddr(probe * 37);
+            for is_write in [false, true] {
+                if exact.conflicts_with(a, is_write) {
+                    assert!(
+                        sigs.maybe_conflicts(a, is_write),
+                        "signature missed a true conflict on {a:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_signatures_alias_aggressively() {
+        let mut s = Signature::new(SignatureConfig { bits: 64, hashes: 1 });
+        for i in 0..64u64 {
+            s.insert(LineAddr(i));
+        }
+        // With 64 bits and 64 inserts nearly everything aliases.
+        let fp = (1000..2000u64)
+            .filter(|&i| s.maybe_contains(LineAddr(i)))
+            .count();
+        assert!(fp > 500, "expected heavy aliasing, got {fp}/1000");
+    }
+}

@@ -1,0 +1,138 @@
+//! Exhaustive decision-matrix test for eager conflict detection: every
+//! combination of (footprint relation, request kind, priority relation,
+//! U-bit) maps to exactly the paper's specified outcome.
+
+use puno_htm::conflict::{decide_forward, ForwardDecision, IncomingKind};
+use puno_htm::rwset::ReadWriteSets;
+use puno_sim::{LineAddr, Timestamp};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Footprint {
+    None,     // line untouched by the local tx
+    ReadOnly, // in read set only
+    Written,  // in write set
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Requester {
+    NonTx,
+    Older,
+    Younger,
+}
+
+fn build_sets(fp: Footprint) -> ReadWriteSets {
+    let mut s = ReadWriteSets::new();
+    match fp {
+        Footprint::None => {}
+        Footprint::ReadOnly => s.record_read(LineAddr(1)),
+        Footprint::Written => {
+            s.record_read(LineAddr(1));
+            s.record_write(LineAddr(1));
+        }
+    }
+    s
+}
+
+fn requester_ts(r: Requester) -> Option<Timestamp> {
+    match r {
+        Requester::NonTx => None,
+        Requester::Older => Some(Timestamp(10)),   // local is 100
+        Requester::Younger => Some(Timestamp(500)),
+    }
+}
+
+/// The specification, written as a table.
+fn expected(
+    fp: Footprint,
+    kind: IncomingKind,
+    req: Requester,
+    unicast: bool,
+) -> ForwardDecision {
+    let conflicts = match (fp, kind) {
+        (Footprint::None, _) => false,
+        (Footprint::ReadOnly, IncomingKind::Read) => false,
+        (Footprint::ReadOnly, IncomingKind::Write) => true,
+        (Footprint::Written, _) => true,
+    };
+    if !conflicts {
+        // U-bit probes are conservative even without a conflict.
+        if unicast {
+            return ForwardDecision::Nack { mispredict: true };
+        }
+        return ForwardDecision::Comply;
+    }
+    match req {
+        Requester::NonTx => ForwardDecision::Nack { mispredict: false },
+        Requester::Older => {
+            if unicast {
+                ForwardDecision::Nack { mispredict: true }
+            } else {
+                ForwardDecision::AbortAndComply
+            }
+        }
+        Requester::Younger => ForwardDecision::Nack { mispredict: false },
+    }
+}
+
+#[test]
+fn full_decision_matrix() {
+    let mut checked = 0;
+    for fp in [Footprint::None, Footprint::ReadOnly, Footprint::Written] {
+        for kind in [IncomingKind::Read, IncomingKind::Write] {
+            for req in [Requester::NonTx, Requester::Older, Requester::Younger] {
+                for unicast in [false, true] {
+                    let sets = build_sets(fp);
+                    let got = decide_forward(
+                        Some((&sets, Timestamp(100))),
+                        LineAddr(1),
+                        kind,
+                        requester_ts(req),
+                        unicast,
+                    );
+                    let want = expected(fp, kind, req, unicast);
+                    assert_eq!(
+                        got, want,
+                        "fp={fp:?} kind={kind:?} req={req:?} unicast={unicast}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 36);
+}
+
+#[test]
+fn idle_node_matrix() {
+    for kind in [IncomingKind::Read, IncomingKind::Write] {
+        for req_ts in [None, Some(Timestamp(5))] {
+            // No transaction: comply on normal forwards, conservative
+            // MP-nack on probes.
+            assert_eq!(
+                decide_forward(None, LineAddr(1), kind, req_ts, false),
+                ForwardDecision::Comply
+            );
+            assert_eq!(
+                decide_forward(None, LineAddr(1), kind, req_ts, true),
+                ForwardDecision::Nack { mispredict: true }
+            );
+        }
+    }
+}
+
+#[test]
+fn equal_timestamps_do_not_outrank() {
+    // Priority ties (possible only across retries of the same tx, which
+    // cannot conflict with itself) resolve to "requester not outranked":
+    // the local side does not nack on equality.
+    let mut s = ReadWriteSets::new();
+    s.record_read(LineAddr(1));
+    let got = decide_forward(
+        Some((&s, Timestamp(100))),
+        LineAddr(1),
+        IncomingKind::Write,
+        Some(Timestamp(100)),
+        false,
+    );
+    assert_eq!(got, ForwardDecision::AbortAndComply);
+}

@@ -1,0 +1,69 @@
+//! Analytic zero-load latency model.
+//!
+//! PUNO's notification rule (paper Section III-D) subtracts "twice the
+//! average cache-to-cache latency (determined by network topology)" from the
+//! nacker's estimated remaining run time to decide the requester's backoff.
+//! That constant is a *topology property*, not a measured quantity, so the
+//! hardware can hard-wire it; this module computes it the same way.
+
+use crate::network::NocConfig;
+use crate::packet::CONTROL_FLITS;
+use crate::topology::Mesh;
+use puno_sim::Cycles;
+
+/// Zero-load latency calculator for a mesh + router configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    mesh: Mesh,
+    config: NocConfig,
+}
+
+impl LatencyModel {
+    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+        Self { mesh, config }
+    }
+
+    /// Zero-load latency for a packet of `flits` flits from `a` to `b`:
+    /// each traversed router (hops + the ejection router) costs
+    /// `pipeline_depth - 1` cycles of pipeline plus `flits` cycles of link
+    /// serialization.
+    pub fn zero_load(&self, hops: u16, flits: u32) -> Cycles {
+        let routers = hops as u64 + 1;
+        routers * (self.config.pipeline_depth as u64 - 1 + flits as u64)
+    }
+
+    /// Average one-way control-message latency between two distinct nodes.
+    pub fn mean_control_latency(&self) -> Cycles {
+        let mean_hops = self.mesh.mean_hops();
+        let per_router = self.config.pipeline_depth as f64 - 1.0 + CONTROL_FLITS as f64;
+        ((mean_hops + 1.0) * per_router).round() as Cycles
+    }
+
+    /// The constant the notification rule uses: twice the average
+    /// cache-to-cache (node-to-node) control latency.
+    pub fn round_trip_allowance(&self) -> Cycles {
+        2 * self.mean_control_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_matches_network_behaviour() {
+        // Cross-checked against the Network test: 3 hops, 1 flit, 4-stage
+        // pipeline -> 16 cycles.
+        let m = LatencyModel::new(Mesh::paper(), NocConfig::default());
+        assert_eq!(m.zero_load(3, 1), 16);
+        assert_eq!(m.zero_load(0, 5), 8);
+    }
+
+    #[test]
+    fn mean_control_latency_for_paper_mesh() {
+        let m = LatencyModel::new(Mesh::paper(), NocConfig::default());
+        // mean hops 8/3 -> (8/3 + 1) * 4 = 14.67, rounded to 15.
+        assert_eq!(m.mean_control_latency(), 15);
+        assert_eq!(m.round_trip_allowance(), 30);
+    }
+}

@@ -1,0 +1,394 @@
+//! The network: routers wired into a mesh, injection interfaces, the per-cycle
+//! step function, and delivery of ejected packets.
+
+use crate::packet::{Packet, VirtualNetwork};
+use crate::router::Router;
+use crate::topology::{Mesh, Port};
+use crate::traffic::TrafficStats;
+use puno_sim::{Cycle, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Network timing/sizing knobs (Table II: 4-stage routers, VC flow control).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Router pipeline depth in cycles; the last stage is link traversal.
+    pub pipeline_depth: u32,
+    /// Input buffer capacity per (port, vnet), in flits.
+    pub buffer_flits: u32,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            pipeline_depth: 4,
+            buffer_flits: 8,
+        }
+    }
+}
+
+struct PendingDelivery<P> {
+    due: Cycle,
+    node: NodeId,
+    packet: Packet<P>,
+}
+
+/// The on-chip network. Payload type `P` is opaque freight.
+pub struct Network<P> {
+    mesh: Mesh,
+    config: NocConfig,
+    routers: Vec<Router<P>>,
+    /// Per-node, per-vnet unbounded injection queues (the NI). Packets wait
+    /// here until the local input buffer has space — injection backpressure
+    /// without loss.
+    inject_queues: Vec<Vec<VecDeque<Packet<P>>>>,
+    /// Ejections in flight (tail flit still crossing into the NI).
+    deliveries: Vec<PendingDelivery<P>>,
+    stats: TrafficStats,
+    link_stats: crate::linkstats::LinkStats,
+    next_packet_id: u64,
+    in_network: usize,
+}
+
+impl<P> Network<P> {
+    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+        assert!(config.pipeline_depth >= 1);
+        assert!(config.buffer_flits >= crate::packet::DATA_FLITS, "buffers must fit a data packet");
+        let n = mesh.nodes();
+        Self {
+            mesh,
+            config,
+            routers: (0..n).map(|_| Router::new()).collect(),
+            inject_queues: (0..n)
+                .map(|_| (0..VirtualNetwork::COUNT).map(|_| VecDeque::new()).collect())
+                .collect(),
+            deliveries: Vec::new(),
+            stats: TrafficStats::default(),
+            link_stats: crate::linkstats::LinkStats::new(mesh),
+            next_packet_id: 0,
+            in_network: 0,
+        }
+    }
+
+    #[inline]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Per-directed-link flit counts (hotspot analysis).
+    pub fn link_stats(&self) -> &crate::linkstats::LinkStats {
+        &self.link_stats
+    }
+
+    /// True when no packet is anywhere in the network; the caller may stop
+    /// scheduling step events.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.in_network == 0
+    }
+
+    /// Packets currently buffered inside routers (diagnostics).
+    pub fn resident_packets(&self) -> usize {
+        self.routers.iter().map(|r| r.resident_packets()).sum()
+    }
+
+    /// Hand a packet to the source node's network interface at cycle `now`.
+    pub fn inject(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        vnet: VirtualNetwork,
+        flits: u32,
+        payload: P,
+    ) {
+        assert!(flits >= 1);
+        let packet = Packet {
+            id: self.next_packet_id,
+            src,
+            dst,
+            vnet,
+            flits,
+            injected_at: now,
+            payload,
+        };
+        self.next_packet_id += 1;
+        self.stats.record_injection(vnet, flits);
+        self.in_network += 1;
+        self.inject_queues[src.index()][vnet.index()].push_back(packet);
+    }
+
+    /// Advance the network one cycle. Returns packets delivered to their
+    /// destination NI this cycle, in deterministic order.
+    pub fn step(&mut self, now: Cycle) -> Vec<(NodeId, P)> {
+        self.drain_injection_queues(now);
+        self.arbitrate(now);
+        self.collect_deliveries(now)
+    }
+
+    /// Move packets from NI injection queues into local input buffers when
+    /// space permits.
+    fn drain_injection_queues(&mut self, now: Cycle) {
+        let ready_delay = self.config.pipeline_depth as Cycle - 1;
+        for node in 0..self.routers.len() {
+            for vnet_idx in 0..VirtualNetwork::COUNT {
+                while let Some(front) = self.inject_queues[node][vnet_idx].front() {
+                    let flits = front.flits;
+                    let vnet = front.vnet;
+                    let buf = self.routers[node].buffer(Port::Local, vnet);
+                    if buf.free_flits(self.config.buffer_flits) < flits {
+                        break;
+                    }
+                    let packet = self.inject_queues[node][vnet_idx].pop_front().unwrap();
+                    self.routers[node].accept(Port::Local, vnet, now + ready_delay, packet);
+                }
+            }
+        }
+    }
+
+    /// Switch allocation: for every router and output port whose link is
+    /// free, pick one eligible head-of-line packet (round-robin over the
+    /// (input port, vnet) space) and traverse.
+    fn arbitrate(&mut self, now: Cycle) {
+        let n_candidates = 5 * VirtualNetwork::COUNT;
+        for r in 0..self.routers.len() {
+            let here = NodeId(r as u16);
+            for out_port in Port::ALL {
+                if self.routers[r].link_busy_until[out_port.index()] > now {
+                    continue;
+                }
+                let start = self.routers[r].rr_pointer[out_port.index()];
+                let mut winner: Option<(usize, usize)> = None;
+                for k in 0..n_candidates {
+                    let idx = (start + k) % n_candidates;
+                    let in_port = idx / VirtualNetwork::COUNT;
+                    let vnet_idx = idx % VirtualNetwork::COUNT;
+                    let buf = &self.routers[r].inputs[in_port][vnet_idx];
+                    let Some(head) = buf.queue.front() else { continue };
+                    if head.ready_at > now {
+                        continue;
+                    }
+                    if self.mesh.route_xy(here, head.packet.dst) != out_port {
+                        continue;
+                    }
+                    // Check downstream space (credit): ejection always has
+                    // room (NI sinks immediately).
+                    if out_port != Port::Local {
+                        let next = self
+                            .mesh
+                            .neighbor(here, out_port)
+                            .expect("XY routed off-mesh");
+                        let flits = head.packet.flits;
+                        let free = self.routers[next.index()].inputs[opposite(out_port).index()]
+                            [vnet_idx]
+                            .free_flits(self.config.buffer_flits);
+                        if free < flits {
+                            continue;
+                        }
+                    }
+                    winner = Some((in_port, vnet_idx));
+                    self.routers[r].rr_pointer[out_port.index()] = (idx + 1) % n_candidates;
+                    break;
+                }
+                let Some((in_port, vnet_idx)) = winner else { continue };
+                // Dequeue the winner and traverse.
+                let buffered = {
+                    let buf = &mut self.routers[r].inputs[in_port][vnet_idx];
+                    let bp = buf.queue.pop_front().unwrap();
+                    buf.occupied_flits -= bp.packet.flits;
+                    bp
+                };
+                let packet = buffered.packet;
+                let flits = packet.flits;
+                // The Figure 11 metric: every flit leaving a router crossbar
+                // is one router traversal.
+                self.stats.record_traversal(packet.vnet, flits);
+                self.link_stats.record(here, out_port, flits);
+                self.routers[r].link_busy_until[out_port.index()] = now + flits as Cycle;
+                if out_port == Port::Local {
+                    self.deliveries.push(PendingDelivery {
+                        due: now + flits as Cycle,
+                        node: here,
+                        packet,
+                    });
+                } else {
+                    let next = self.mesh.neighbor(here, out_port).unwrap();
+                    let ready_at =
+                        now + flits as Cycle + self.config.pipeline_depth as Cycle - 1;
+                    let vnet = packet.vnet;
+                    self.routers[next.index()].accept(
+                        opposite(out_port),
+                        vnet,
+                        ready_at,
+                        packet,
+                    );
+                }
+            }
+        }
+    }
+
+    fn collect_deliveries(&mut self, now: Cycle) -> Vec<(NodeId, P)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.deliveries.len() {
+            if self.deliveries[i].due <= now {
+                let d = self.deliveries.swap_remove(i);
+                self.stats.record_delivery(now - d.packet.injected_at);
+                self.in_network -= 1;
+                out.push((d.node, d.packet.payload));
+            } else {
+                i += 1;
+            }
+        }
+        // swap_remove disturbs order; restore determinism by due/packet id.
+        out.sort_by_key(|(node, _)| node.0);
+        out
+    }
+}
+
+#[inline]
+fn opposite(port: Port) -> Port {
+    match port {
+        Port::East => Port::West,
+        Port::West => Port::East,
+        Port::North => Port::South,
+        Port::South => Port::North,
+        Port::Local => Port::Local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{CONTROL_FLITS, DATA_FLITS};
+
+    fn run_until_idle(net: &mut Network<u32>, start: Cycle, max: Cycle) -> Vec<(Cycle, NodeId, u32)> {
+        let mut delivered = Vec::new();
+        let mut now = start;
+        while !net.is_idle() {
+            for (node, payload) in net.step(now) {
+                delivered.push((now, node, payload));
+            }
+            now += 1;
+            assert!(now < max, "network did not drain");
+        }
+        delivered
+    }
+
+    #[test]
+    fn delivers_single_packet_with_expected_latency() {
+        let mut net = Network::new(Mesh::paper(), NocConfig::default());
+        net.inject(0, NodeId(0), NodeId(3), VirtualNetwork::Request, CONTROL_FLITS, 7);
+        let delivered = run_until_idle(&mut net, 0, 1000);
+        assert_eq!(delivered.len(), 1);
+        let (cycle, node, payload) = delivered[0];
+        assert_eq!(node, NodeId(3));
+        assert_eq!(payload, 7);
+        // 3 hops + ejection = 4 router traversals; each costs pipeline-1 wait
+        // (3 cycles) + 1 cycle link per flit. Zero-load: 4 * (3 + 1) = 16.
+        assert_eq!(cycle, 16);
+    }
+
+    #[test]
+    fn local_delivery_goes_through_one_router() {
+        let mut net = Network::new(Mesh::paper(), NocConfig::default());
+        net.inject(0, NodeId(5), NodeId(5), VirtualNetwork::Response, DATA_FLITS, 1);
+        let delivered = run_until_idle(&mut net, 0, 100);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].1, NodeId(5));
+        assert_eq!(net.stats().router_traversals(), DATA_FLITS as u64);
+    }
+
+    #[test]
+    fn traversal_count_is_flits_times_routers() {
+        let mut net = Network::new(Mesh::paper(), NocConfig::default());
+        // 0 -> 15 is 6 hops; the packet crosses 7 routers (incl. ejection).
+        net.inject(0, NodeId(0), NodeId(15), VirtualNetwork::Response, DATA_FLITS, 9);
+        run_until_idle(&mut net, 0, 1000);
+        assert_eq!(net.stats().router_traversals(), 7 * DATA_FLITS as u64);
+        assert_eq!(net.stats().flits_injected(), DATA_FLITS as u64);
+    }
+
+    #[test]
+    fn every_injected_packet_is_delivered_exactly_once() {
+        let mut net = Network::new(Mesh::paper(), NocConfig::default());
+        let mut expected = Vec::new();
+        let mut id = 0u32;
+        for src in 0..16u16 {
+            for dst in 0..16u16 {
+                net.inject(
+                    0,
+                    NodeId(src),
+                    NodeId(dst),
+                    VirtualNetwork::Request,
+                    CONTROL_FLITS,
+                    id,
+                );
+                expected.push(id);
+                id += 1;
+            }
+        }
+        let delivered = run_until_idle(&mut net, 0, 100_000);
+        let mut got: Vec<u32> = delivered.iter().map(|&(_, _, p)| p).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        // Two data packets from node 0 and node 1, both to node 3: they share
+        // the (2 -> 3) link, so the second must finish >= DATA_FLITS cycles
+        // after the first.
+        let mut net = Network::new(Mesh::paper(), NocConfig::default());
+        net.inject(0, NodeId(0), NodeId(3), VirtualNetwork::Response, DATA_FLITS, 0);
+        net.inject(0, NodeId(1), NodeId(3), VirtualNetwork::Response, DATA_FLITS, 1);
+        let delivered = run_until_idle(&mut net, 0, 10_000);
+        assert_eq!(delivered.len(), 2);
+        let t0 = delivered.iter().find(|d| d.2 == 0).unwrap().0;
+        let t1 = delivered.iter().find(|d| d.2 == 1).unwrap().0;
+        assert!(t0.abs_diff(t1) >= DATA_FLITS as Cycle, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn vnets_do_not_block_each_other_at_injection() {
+        let mut net = Network::new(
+            Mesh::paper(),
+            NocConfig {
+                pipeline_depth: 4,
+                buffer_flits: 5,
+            },
+        );
+        // Saturate the request vnet's local buffer at node 0...
+        for i in 0..10 {
+            net.inject(0, NodeId(0), NodeId(1), VirtualNetwork::Request, DATA_FLITS, i);
+        }
+        // ...a response packet must still make timely progress.
+        net.inject(0, NodeId(0), NodeId(1), VirtualNetwork::Response, CONTROL_FLITS, 99);
+        let delivered = run_until_idle(&mut net, 0, 100_000);
+        let resp_cycle = delivered.iter().find(|d| d.2 == 99).unwrap().0;
+        let last_req = delivered
+            .iter()
+            .filter(|d| d.2 < 10)
+            .map(|d| d.0)
+            .max()
+            .unwrap();
+        assert!(
+            resp_cycle < last_req,
+            "response {resp_cycle} should beat backlogged requests {last_req}"
+        );
+    }
+
+    #[test]
+    fn idle_network_reports_idle() {
+        let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
+        assert!(net.is_idle());
+        net.inject(0, NodeId(0), NodeId(1), VirtualNetwork::Request, 1, 0);
+        assert!(!net.is_idle());
+        run_until_idle(&mut net, 0, 100);
+        assert!(net.is_idle());
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-router state: input virtual-channel buffers, output links, round-robin
+//! switch arbitration pointers.
+//!
+//! The router is a 4-stage pipeline (buffer write / route compute, VC
+//! allocation, switch allocation, switch+link traversal), modeled as a fixed
+//! `pipeline_depth - 1` cycle delay between a packet's arrival at an input
+//! buffer and its eligibility for switch allocation; the final stage is the
+//! link traversal itself, which occupies the output link for one cycle per
+//! flit (virtual cut-through).
+
+use crate::packet::{Packet, VirtualNetwork};
+use crate::topology::Port;
+use puno_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A packet waiting in an input buffer, annotated with the cycle at which it
+/// has cleared the router pipeline and may compete for the switch.
+pub(crate) struct BufferedPacket<P> {
+    pub ready_at: Cycle,
+    pub packet: Packet<P>,
+}
+
+/// One input unit: a FIFO per (input port, virtual network), with occupancy
+/// accounted in flits against a fixed capacity.
+pub(crate) struct InputBuffer<P> {
+    pub queue: VecDeque<BufferedPacket<P>>,
+    pub occupied_flits: u32,
+}
+
+impl<P> InputBuffer<P> {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            occupied_flits: 0,
+        }
+    }
+
+    pub fn free_flits(&self, capacity: u32) -> u32 {
+        capacity.saturating_sub(self.occupied_flits)
+    }
+}
+
+/// Router state. Ports: 0 = Local (injection/ejection), 1..=4 = E/W/N/S.
+pub(crate) struct Router<P> {
+    /// `inputs[port][vnet]`
+    pub inputs: Vec<Vec<InputBuffer<P>>>,
+    /// Output link busy-until cycle, per output port.
+    pub link_busy_until: [Cycle; 5],
+    /// Round-robin arbitration pointer per output port, over the flattened
+    /// (input port, vnet) candidate space.
+    pub rr_pointer: [usize; 5],
+}
+
+impl<P> Router<P> {
+    pub fn new() -> Self {
+        Self {
+            inputs: (0..5)
+                .map(|_| (0..VirtualNetwork::COUNT).map(|_| InputBuffer::new()).collect())
+                .collect(),
+            link_busy_until: [0; 5],
+            rr_pointer: [0; 5],
+        }
+    }
+
+    pub fn buffer(&self, port: Port, vnet: VirtualNetwork) -> &InputBuffer<P> {
+        &self.inputs[port.index()][vnet.index()]
+    }
+
+    pub fn buffer_mut(&mut self, port: Port, vnet: VirtualNetwork) -> &mut InputBuffer<P> {
+        &mut self.inputs[port.index()][vnet.index()]
+    }
+
+    /// Enqueue a packet into an input buffer. Caller must have checked space.
+    pub fn accept(
+        &mut self,
+        port: Port,
+        vnet: VirtualNetwork,
+        ready_at: Cycle,
+        packet: Packet<P>,
+    ) {
+        let buf = self.buffer_mut(port, vnet);
+        buf.occupied_flits += packet.flits;
+        buf.queue.push_back(BufferedPacket { ready_at, packet });
+    }
+
+    /// Total packets resident in this router's input buffers.
+    pub fn resident_packets(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|per_port| per_port.iter())
+            .map(|b| b.queue.len())
+            .sum()
+    }
+}

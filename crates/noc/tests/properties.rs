@@ -1,0 +1,124 @@
+//! Property tests for the mesh network: delivery is exactly-once, latency
+//! is bounded below by the zero-load model, and the network always drains.
+
+use proptest::prelude::*;
+use puno_noc::{LatencyModel, Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS, DATA_FLITS};
+use puno_sim::NodeId;
+
+#[derive(Clone, Debug)]
+struct Injection {
+    at: u64,
+    src: u16,
+    dst: u16,
+    vnet: usize,
+    data: bool,
+}
+
+fn arb_injection(nodes: u16) -> impl Strategy<Value = Injection> {
+    (
+        0u64..200,
+        0..nodes,
+        0..nodes,
+        0usize..VirtualNetwork::COUNT,
+        any::<bool>(),
+    )
+        .prop_map(|(at, src, dst, vnet, data)| Injection {
+            at,
+            src,
+            dst,
+            vnet,
+            data,
+        })
+}
+
+fn vnet_of(i: usize) -> VirtualNetwork {
+    [
+        VirtualNetwork::Request,
+        VirtualNetwork::Forward,
+        VirtualNetwork::Response,
+    ][i]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every injected packet is delivered exactly once, at its destination,
+    /// and the network fully drains.
+    #[test]
+    fn exactly_once_delivery(
+        injections in proptest::collection::vec(arb_injection(16), 1..120),
+    ) {
+        let mesh = Mesh::paper();
+        let mut net: Network<usize> = Network::new(mesh, NocConfig::default());
+        let mut sorted = injections.clone();
+        sorted.sort_by_key(|i| i.at);
+        let mut cursor = 0;
+        let mut delivered: Vec<(usize, NodeId)> = Vec::new();
+        let mut now = 0u64;
+        loop {
+            while cursor < sorted.len() && sorted[cursor].at == now {
+                let inj = &sorted[cursor];
+                let flits = if inj.data { DATA_FLITS } else { CONTROL_FLITS };
+                net.inject(now, NodeId(inj.src), NodeId(inj.dst), vnet_of(inj.vnet), flits, cursor);
+                cursor += 1;
+            }
+            for (node, id) in net.step(now) {
+                delivered.push((id, node));
+            }
+            now += 1;
+            if cursor >= sorted.len() && net.is_idle() {
+                break;
+            }
+            prop_assert!(now < 200_000, "network failed to drain");
+        }
+        prop_assert_eq!(delivered.len(), sorted.len());
+        delivered.sort_by_key(|d| d.0);
+        for (k, (id, node)) in delivered.iter().enumerate() {
+            prop_assert_eq!(*id, k, "duplicate or lost packet");
+            prop_assert_eq!(*node, NodeId(sorted[*id].dst));
+        }
+    }
+
+    /// No packet beats the zero-load latency bound.
+    #[test]
+    fn latency_is_at_least_zero_load(
+        src in 0u16..16, dst in 0u16..16, data in any::<bool>(),
+    ) {
+        let mesh = Mesh::paper();
+        let config = NocConfig::default();
+        let mut net: Network<u8> = Network::new(mesh, config);
+        let flits = if data { DATA_FLITS } else { CONTROL_FLITS };
+        net.inject(0, NodeId(src), NodeId(dst), VirtualNetwork::Request, flits, 0);
+        let mut now = 0;
+        let arrival = loop {
+            if let Some((node, _)) = net.step(now).pop() {
+                prop_assert_eq!(node, NodeId(dst));
+                break now;
+            }
+            now += 1;
+            prop_assert!(now < 10_000);
+        };
+        let bound = LatencyModel::new(mesh, config).zero_load(mesh.hops(NodeId(src), NodeId(dst)), flits);
+        prop_assert!(arrival >= bound, "arrived {arrival} before zero-load bound {bound}");
+        // An uncontended packet matches the bound exactly.
+        prop_assert_eq!(arrival, bound);
+    }
+
+    /// Traffic accounting: traversals = sum over packets of
+    /// flits x (hops + 1) when the network is uncontended per-packet.
+    #[test]
+    fn traversal_accounting_matches_path_lengths(
+        src in 0u16..16, dst in 0u16..16,
+    ) {
+        let mesh = Mesh::paper();
+        let mut net: Network<u8> = Network::new(mesh, NocConfig::default());
+        net.inject(0, NodeId(src), NodeId(dst), VirtualNetwork::Response, DATA_FLITS, 0);
+        let mut now = 0;
+        while !net.is_idle() {
+            net.step(now);
+            now += 1;
+        }
+        let expected = (mesh.hops(NodeId(src), NodeId(dst)) as u64 + 1) * DATA_FLITS as u64;
+        prop_assert_eq!(net.stats().router_traversals(), expected);
+    }
+}

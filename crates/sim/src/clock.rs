@@ -1,0 +1,33 @@
+//! Cycle-resolution simulated time.
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// All components of the simulated CMP (cores, caches, directory banks,
+/// routers) share a single clock domain, matching the paper's single-frequency
+/// 16-core system (Table II: 1 GHz cores).
+pub type Cycle = u64;
+
+/// A span of simulated time in cycles.
+pub type Cycles = u64;
+
+/// Saturating "cycles remaining until `deadline`" helper.
+///
+/// Returns zero when `deadline` is in the past, which is the behaviour the
+/// notification rule of the paper needs (a nacker whose transaction has
+/// already exceeded its average length reports zero remaining time).
+#[inline]
+pub fn remaining(now: Cycle, deadline: Cycle) -> Cycles {
+    deadline.saturating_sub(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_saturates_at_zero() {
+        assert_eq!(remaining(100, 150), 50);
+        assert_eq!(remaining(150, 150), 0);
+        assert_eq!(remaining(200, 150), 0);
+    }
+}

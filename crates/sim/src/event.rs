@@ -1,0 +1,172 @@
+//! Deterministic event queue.
+//!
+//! A binary min-heap keyed by `(cycle, seq)` where `seq` is a monotonically
+//! increasing insertion counter. Two events scheduled for the same cycle are
+//! therefore delivered in the order they were scheduled, independent of the
+//! payload type and of heap internals — the property that makes whole-system
+//! runs bit-reproducible.
+
+use crate::clock::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    cycle: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get the earliest event first.
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// Priority queue of simulation events with deterministic tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulated time: the cycle of the most recently popped event.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute cycle `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the event is
+    /// clamped to `now` so the simulation still makes forward progress, and
+    /// debug builds assert.
+    pub fn schedule_at(&mut self, at: Cycle, payload: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let cycle = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { cycle, seq, payload });
+    }
+
+    /// Schedule `payload` `delay` cycles from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Cycle, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its cycle.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.cycle >= self.now);
+        self.now = entry.cycle;
+        Some((entry.cycle, entry.payload))
+    }
+
+    /// Cycle of the earliest pending event, if any.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.cycle)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.schedule_in(3, ());
+        assert_eq!(q.pop(), Some((10, ())));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, 1u32);
+        q.schedule_at(5, 5);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.schedule_at(3, 3);
+        q.schedule_at(2, 2);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((5, 5)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Statistics containers used throughout the simulator.
+//!
+//! Counters and histograms accumulate in `u64` so cross-run comparisons in
+//! tests are exact; means and ratios are only materialized as `f64` at report
+//! time.
+
+use serde::{Deserialize, Serialize};
+
+/// A named monotonically increasing counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A dense histogram over small integer buckets with an overflow tail.
+///
+/// Figure 3 of the paper is exactly this: the distribution of the number of
+/// transactions aborted unnecessarily per false-aborting request, with a long
+/// trailing tail.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Histogram with direct buckets for values `0..capacity`; larger values
+    /// land in the overflow tail (still contributing to `sum`/`mean`).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buckets: vec![0; capacity],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < self.buckets.len() {
+            self.buckets[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += value;
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Count recorded for exactly `value` (None if it falls in overflow).
+    pub fn bucket(&self, value: usize) -> Option<u64> {
+        self.buckets.get(value).copied()
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of samples at exactly `value`.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.bucket(value).unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Iterate `(value, count)` for non-empty direct buckets.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Merge another histogram with identical capacity into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+/// Running mean / min / max over `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exponentially weighted moving average with a power-of-two weight, matching
+/// the paper's TxLB update rule (formula (1): `new = (prev + sample) / 2`).
+///
+/// Integer arithmetic keeps the hardware analogy honest — the TxLB is an SRAM
+/// of integer cycle counts, not a floating-point unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ewma {
+    value: u64,
+    initialized: bool,
+}
+
+impl Ewma {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in a sample: first sample initializes, later samples average
+    /// `(prev + sample) / 2` exactly as formula (1) of the paper.
+    pub fn update(&mut self, sample: u64) {
+        if self.initialized {
+            self.value = (self.value + sample) / 2;
+        } else {
+            self.value = sample;
+            self.initialized = true;
+        }
+    }
+
+    pub fn get(&self) -> Option<u64> {
+        self.initialized.then_some(self.value)
+    }
+
+    pub fn get_or(&self, default: u64) -> u64 {
+        self.get().unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_records_and_fractions() {
+        let mut h = Histogram::new(8);
+        for v in [0, 1, 1, 2, 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket(1), Some(2));
+        assert_eq!(h.overflow(), 1);
+        assert!((h.fraction(1) - 0.4).abs() < 1e-12);
+        assert!((h.mean() - 24.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(4);
+        let mut b = Histogram::new(4);
+        a.record(1);
+        b.record(1);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.bucket(1), Some(2));
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_iter_nonzero() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let items: Vec<_> = h.iter_nonzero().collect();
+        assert_eq!(items, vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn running_stats_tracks_extrema() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.min(), None);
+        for v in [5, 1, 9] {
+            s.record(v);
+        }
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(9));
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_matches_paper_formula_one() {
+        // StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2
+        let mut e = Ewma::new();
+        assert_eq!(e.get(), None);
+        e.update(100);
+        assert_eq!(e.get(), Some(100));
+        e.update(200);
+        assert_eq!(e.get(), Some(150));
+        e.update(50);
+        assert_eq!(e.get(), Some(100));
+    }
+
+    #[test]
+    fn ewma_weights_recent_instances_more() {
+        let mut e = Ewma::new();
+        for _ in 0..10 {
+            e.update(1000);
+        }
+        // A burst of short instances pulls the estimate down quickly.
+        e.update(0);
+        e.update(0);
+        assert!(e.get().unwrap() <= 250);
+    }
+}

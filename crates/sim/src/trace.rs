@@ -1,0 +1,132 @@
+//! Bounded event tracing.
+//!
+//! A fixed-capacity ring of timestamped, formatted trace records. Tracing
+//! is off by default (zero cost beyond a branch); when enabled the last N
+//! events survive, which is what you want when a protocol assertion fires
+//! two hundred million cycles into a run.
+
+use crate::clock::Cycle;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Ring buffer of trace records.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    enabled: bool,
+    records: VecDeque<(Cycle, String)>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A disabled ring (records are discarded without formatting).
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            enabled: false,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled ring keeping the last `capacity` records.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            enabled: true,
+            records: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event. The closure is only evaluated when tracing is on,
+    /// so callers can pass format-heavy lambdas freely.
+    #[inline]
+    pub fn record(&mut self, now: Cycle, f: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back((now, f()));
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained window, oldest first.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier records dropped ...", self.dropped);
+        }
+        for (cycle, msg) in &self.records {
+            let _ = writeln!(out, "[{cycle:>10}] {msg}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn disabled_ring_never_evaluates_the_closure() {
+        let mut ring = TraceRing::disabled();
+        let evaluated = Cell::new(false);
+        ring.record(5, || {
+            evaluated.set(true);
+            "x".into()
+        });
+        assert!(!evaluated.get());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn keeps_only_the_last_n() {
+        let mut ring = TraceRing::enabled(3);
+        for i in 0..10u64 {
+            ring.record(i, || format!("event {i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let dump = ring.dump();
+        assert!(dump.contains("event 9"));
+        assert!(dump.contains("event 7"));
+        assert!(!dump.contains("event 6"));
+        assert!(dump.contains("7 earlier records dropped"));
+    }
+
+    #[test]
+    fn dump_is_ordered_and_timestamped() {
+        let mut ring = TraceRing::enabled(8);
+        ring.record(100, || "first".into());
+        ring.record(200, || "second".into());
+        let dump = ring.dump();
+        let first = dump.find("first").unwrap();
+        let second = dump.find("second").unwrap();
+        assert!(first < second);
+        assert!(dump.contains("[       100]"));
+    }
+}

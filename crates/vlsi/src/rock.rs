@@ -1,0 +1,51 @@
+//! The Sun Rock comparison baseline of Table III.
+
+use serde::{Deserialize, Serialize};
+
+/// Published Rock numbers the paper normalizes against: a 16-core, 65 nm,
+/// 2.3 GHz CMT SPARC with HTM support; each core occupies 14,000,000 um^2
+/// and dissipates 10 W.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RockBaseline {
+    pub cores: u32,
+    pub core_area_um2: f64,
+    pub core_power_mw: f64,
+}
+
+impl Default for RockBaseline {
+    fn default() -> Self {
+        Self {
+            cores: 16,
+            core_area_um2: 14_000_000.0,
+            core_power_mw: 10_000.0,
+        }
+    }
+}
+
+impl RockBaseline {
+    /// Overhead of `area_um2` relative to one Rock core, in percent — the
+    /// paper's normalization ("less than 0.41% more area" compares the total
+    /// PUNO area against a single 14 mm^2 core).
+    pub fn area_overhead_pct(&self, area_um2: f64) -> f64 {
+        area_um2 / self.core_area_um2 * 100.0
+    }
+
+    pub fn power_overhead_pct(&self, power_mw: f64) -> f64 {
+        power_mw / self.core_power_mw * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overheads_reproduce() {
+        let rock = RockBaseline::default();
+        // Table III overall row: 57,480 um^2 and 31.23 mW.
+        let area = rock.area_overhead_pct(57_480.0);
+        let power = rock.power_overhead_pct(31.23);
+        assert!((area - 0.41).abs() < 0.01, "area overhead {area}");
+        assert!((power - 0.31).abs() < 0.01, "power overhead {power}");
+    }
+}

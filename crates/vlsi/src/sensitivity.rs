@@ -1,0 +1,132 @@
+//! Sensitivity analysis: how the PUNO hardware budget scales with system
+//! parameters — node count, P-Buffer/TxLB sizing, UD pointer coverage.
+//!
+//! This extends Table III the way a design-space exploration would: the
+//! paper's configuration is one point; these functions generate the curve.
+
+use crate::rock::RockBaseline;
+use crate::sram::{ArrayKind, SramArray};
+use serde::Serialize;
+
+/// A full PUNO hardware configuration to estimate.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PunoHardwareConfig {
+    pub nodes: u32,
+    pub pbuffer_entries_per_bank: u32,
+    /// Priority width in bits (32 in the paper).
+    pub priority_bits: u32,
+    pub txlb_entries_per_node: u32,
+    /// Directory entries with a UD pointer, per bank.
+    pub ud_entries_per_bank: u32,
+    /// UD pointer width (8 in the paper's overestimate; log2(nodes) suffices).
+    pub ud_bits: u32,
+}
+
+impl PunoHardwareConfig {
+    /// The paper's Table II/III configuration.
+    pub fn paper() -> Self {
+        Self {
+            nodes: 16,
+            pbuffer_entries_per_bank: 16,
+            priority_bits: 32,
+            txlb_entries_per_node: 32,
+            ud_entries_per_bank: 3840,
+            ud_bits: 8,
+        }
+    }
+
+    /// Scale to an `n`-node CMP keeping the paper's per-node proportions
+    /// and tight pointer widths.
+    pub fn scaled_to_nodes(n: u32) -> Self {
+        let ud_bits = 32 - (n - 1).leading_zeros();
+        Self {
+            nodes: n,
+            pbuffer_entries_per_bank: n,
+            priority_bits: 32,
+            txlb_entries_per_node: 32,
+            ud_entries_per_bank: 3840,
+            ud_bits: ud_bits.max(1),
+        }
+    }
+
+    fn arrays(&self) -> [SramArray; 3] {
+        [
+            SramArray {
+                name: "Prio-Buffer",
+                kind: ArrayKind::Macro,
+                instances: self.nodes,
+                entries_per_instance: self.pbuffer_entries_per_bank,
+                bits_per_entry: self.priority_bits + 2,
+            },
+            SramArray {
+                name: "TxLB",
+                kind: ArrayKind::Macro,
+                instances: self.nodes,
+                entries_per_instance: self.txlb_entries_per_node,
+                bits_per_entry: 32,
+            },
+            SramArray {
+                name: "UD pointers",
+                kind: ArrayKind::RegisterFile,
+                instances: self.nodes,
+                entries_per_instance: self.ud_entries_per_bank,
+                bits_per_entry: self.ud_bits,
+            },
+        ]
+    }
+
+    /// Total area (um^2) and power (mW).
+    pub fn totals(&self) -> (f64, f64) {
+        self.arrays()
+            .iter()
+            .map(|a| a.estimate())
+            .fold((0.0, 0.0), |(a, p), e| (a + e.area_um2, p + e.power_mw))
+    }
+
+    /// Area overhead percentage against one Rock-class core (the paper's
+    /// normalization).
+    pub fn area_overhead_pct(&self) -> f64 {
+        RockBaseline::default().area_overhead_pct(self.totals().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_matches_table3() {
+        let (area, power) = PunoHardwareConfig::paper().totals();
+        assert!((area - 57_480.0).abs() / 57_480.0 < 0.01, "{area}");
+        assert!((power - 31.23).abs() / 31.23 < 0.03, "{power}");
+    }
+
+    #[test]
+    fn pbuffer_grows_quadratically_with_nodes() {
+        // N banks x N entries: doubling nodes quadruples P-Buffer bits but
+        // the (dominant) UD pointer area grows ~linearly in instances.
+        let a16 = PunoHardwareConfig::scaled_to_nodes(16);
+        let a64 = PunoHardwareConfig::scaled_to_nodes(64);
+        let pb_bits16 = a16.pbuffer_entries_per_bank * a16.nodes;
+        let pb_bits64 = a64.pbuffer_entries_per_bank * a64.nodes;
+        assert_eq!(pb_bits64, 16 * pb_bits16);
+    }
+
+    #[test]
+    fn overhead_stays_small_through_64_nodes() {
+        for n in [16u32, 32, 64] {
+            let pct = PunoHardwareConfig::scaled_to_nodes(n).area_overhead_pct();
+            assert!(
+                pct < 2.0,
+                "{n} nodes: overhead {pct}% no longer negligible"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_ud_pointers_shrink_the_paper_config() {
+        let mut tight = PunoHardwareConfig::paper();
+        tight.ud_bits = 4; // log2(16)
+        assert!(tight.totals().0 < PunoHardwareConfig::paper().totals().0 * 0.7);
+    }
+}

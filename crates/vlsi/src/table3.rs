@@ -1,0 +1,128 @@
+//! Table III assembly: the three PUNO structures, their estimates, and the
+//! overhead versus the Rock baseline.
+
+use crate::rock::RockBaseline;
+use crate::sram::{ArrayKind, SramArray, SramEstimate};
+use serde::Serialize;
+
+/// One row of Table III.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3Row {
+    pub component: &'static str,
+    pub area_um2: f64,
+    pub power_mw: f64,
+    /// The paper's reported value, for side-by-side display.
+    pub paper_area_um2: f64,
+    pub paper_power_mw: f64,
+}
+
+/// The full table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3 {
+    pub rows: Vec<Table3Row>,
+    pub total_area_um2: f64,
+    pub total_power_mw: f64,
+    pub area_overhead_pct: f64,
+    pub power_overhead_pct: f64,
+}
+
+/// The three structures PUNO adds, sized per Table II (16 nodes, 16-entry
+/// P-Buffer, 32-entry TxLB, 8-bit UD pointers per tracked directory entry).
+pub fn paper_components() -> [(SramArray, f64, f64); 3] {
+    [
+        (
+            SramArray {
+                name: "Prio-Buffer",
+                kind: ArrayKind::Macro,
+                instances: 16,
+                entries_per_instance: 16,
+                bits_per_entry: 34,
+            },
+            4700.0,
+            7.28,
+        ),
+        (
+            SramArray {
+                name: "TxLB",
+                kind: ArrayKind::Macro,
+                instances: 16,
+                entries_per_instance: 32,
+                bits_per_entry: 32,
+            },
+            5380.0,
+            7.52,
+        ),
+        (
+            SramArray {
+                name: "UD pointers",
+                kind: ArrayKind::RegisterFile,
+                instances: 16,
+                entries_per_instance: 3840,
+                bits_per_entry: 8,
+            },
+            47400.0,
+            16.43,
+        ),
+    ]
+}
+
+/// Build Table III from the analytic model.
+pub fn table3() -> Table3 {
+    let rock = RockBaseline::default();
+    let mut rows = Vec::new();
+    let mut total = SramEstimate {
+        area_um2: 0.0,
+        power_mw: 0.0,
+    };
+    for (array, paper_area, paper_power) in paper_components() {
+        let e = array.estimate();
+        total.area_um2 += e.area_um2;
+        total.power_mw += e.power_mw;
+        rows.push(Table3Row {
+            component: array.name,
+            area_um2: e.area_um2,
+            power_mw: e.power_mw,
+            paper_area_um2: paper_area,
+            paper_power_mw: paper_power,
+        });
+    }
+    Table3 {
+        rows,
+        total_area_um2: total.area_um2,
+        total_power_mw: total.power_mw,
+        area_overhead_pct: rock.area_overhead_pct(total.area_um2),
+        power_overhead_pct: rock.power_overhead_pct(total.power_mw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_within_tolerance() {
+        let t = table3();
+        // Paper overall: 57,480 um^2 / 31.23 mW -> 0.41% / 0.31%.
+        assert!((t.total_area_um2 - 57_480.0).abs() / 57_480.0 < 0.01);
+        assert!((t.total_power_mw - 31.23).abs() / 31.23 < 0.03);
+        assert!(t.area_overhead_pct < 0.45, "{}", t.area_overhead_pct);
+        assert!(t.power_overhead_pct < 0.35, "{}", t.power_overhead_pct);
+    }
+
+    #[test]
+    fn every_row_close_to_paper() {
+        for row in table3().rows {
+            let area_err = (row.area_um2 - row.paper_area_um2).abs() / row.paper_area_um2;
+            let power_err = (row.power_mw - row.paper_power_mw).abs() / row.paper_power_mw;
+            assert!(area_err < 0.02, "{}: area off by {area_err}", row.component);
+            assert!(power_err < 0.03, "{}: power off by {power_err}", row.component);
+        }
+    }
+
+    #[test]
+    fn ud_pointers_dominate_the_overhead() {
+        let t = table3();
+        let ud = t.rows.iter().find(|r| r.component == "UD pointers").unwrap();
+        assert!(ud.area_um2 > t.total_area_um2 * 0.7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Address-space layout shared by all generators.
+//!
+//! Lines `[0, shared_lines)` form the transactionally shared region; each
+//! node additionally owns a private region used for non-transactional work
+//! (stack/locals), placed far above the shared region so home-node mappings
+//! of the two never interact in surprising ways.
+
+use puno_sim::{LineAddr, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Base of the private regions, far above any shared region we configure.
+const PRIVATE_BASE: u64 = 1 << 24;
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AddressMap {
+    pub shared_lines: u64,
+    pub private_lines_per_node: u64,
+}
+
+impl AddressMap {
+    pub fn new(shared_lines: u64, private_lines_per_node: u64) -> Self {
+        assert!(shared_lines > 0);
+        assert!(shared_lines < PRIVATE_BASE);
+        Self {
+            shared_lines,
+            private_lines_per_node,
+        }
+    }
+
+    /// The `idx`-th shared line.
+    pub fn shared(&self, idx: u64) -> LineAddr {
+        debug_assert!(idx < self.shared_lines);
+        LineAddr(idx)
+    }
+
+    /// The `idx`-th private line of `node`.
+    pub fn private(&self, node: NodeId, idx: u64) -> LineAddr {
+        debug_assert!(idx < self.private_lines_per_node.max(1));
+        LineAddr(PRIVATE_BASE + node.0 as u64 * self.private_lines_per_node + idx)
+    }
+
+    pub fn is_shared(&self, addr: LineAddr) -> bool {
+        addr.0 < self.shared_lines
+    }
+
+    pub fn is_private_of(&self, addr: LineAddr, node: NodeId) -> bool {
+        let base = PRIVATE_BASE + node.0 as u64 * self.private_lines_per_node;
+        (base..base + self.private_lines_per_node).contains(&addr.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let m = AddressMap::new(1024, 64);
+        assert!(m.is_shared(m.shared(0)));
+        assert!(m.is_shared(m.shared(1023)));
+        let p = m.private(NodeId(3), 5);
+        assert!(!m.is_shared(p));
+        assert!(m.is_private_of(p, NodeId(3)));
+        assert!(!m.is_private_of(p, NodeId(4)));
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap_across_nodes() {
+        let m = AddressMap::new(16, 64);
+        let last_of_0 = m.private(NodeId(0), 63);
+        let first_of_1 = m.private(NodeId(1), 0);
+        assert_eq!(first_of_1.0 - last_of_0.0, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Micro-workloads for unit/property/integration tests and ablations.
+
+use crate::params::{StaticTxParams, WorkloadParams};
+
+/// All nodes increment lines of one tiny shared counter region with pure
+/// RMW transactions — the serializability oracle workload: the sum of
+/// committed increments must equal the final counter values.
+pub fn counter(shared_lines: u64, tx_per_node: u32) -> WorkloadParams {
+    WorkloadParams {
+        name: "micro-counter".into(),
+        static_txs: vec![StaticTxParams {
+            weight: 1.0,
+            reads: (1, 1),
+            writes: (1, 1),
+            rmw_fraction: 1.0,
+            read_shared_fraction: 1.0,
+            write_shared_fraction: 1.0,
+            think_per_op: 3,
+            scan_shared: 0,
+            lead_reads: 0,
+        }],
+        shared_lines,
+        zipf_theta: 0.0,
+        private_lines_per_node: 16,
+        tx_per_node,
+        inter_tx_think: 20,
+        non_tx_accesses: 0,
+    }
+}
+
+/// Extreme hot spot: every transaction reads a handful of lines from a tiny
+/// region and writes one — maximal false-aborting pressure.
+pub fn hotspot(tx_per_node: u32) -> WorkloadParams {
+    WorkloadParams {
+        name: "micro-hotspot".into(),
+        static_txs: vec![StaticTxParams {
+            weight: 1.0,
+            reads: (3, 6),
+            writes: (1, 2),
+            rmw_fraction: 0.5,
+            read_shared_fraction: 1.0,
+            write_shared_fraction: 1.0,
+            think_per_op: 10,
+            scan_shared: 0,
+            lead_reads: 0,
+        }],
+        shared_lines: 8,
+        zipf_theta: 0.8,
+        private_lines_per_node: 16,
+        tx_per_node,
+        inter_tx_think: 30,
+        non_tx_accesses: 0,
+    }
+}
+
+/// Read-dominated sharing with rare writers: lots of read-read sharing for
+/// the occasional writer to falsely abort.
+pub fn read_mostly(tx_per_node: u32) -> WorkloadParams {
+    WorkloadParams {
+        name: "micro-read-mostly".into(),
+        static_txs: vec![
+            // Readers.
+            StaticTxParams {
+                weight: 8.0,
+                reads: (4, 10),
+                writes: (0, 0),
+                rmw_fraction: 0.0,
+                read_shared_fraction: 1.0,
+                write_shared_fraction: 0.0,
+                think_per_op: 12,
+                scan_shared: 0,
+            lead_reads: 0,
+            },
+            // Occasional writer.
+            StaticTxParams {
+                weight: 1.0,
+                reads: (1, 2),
+                writes: (1, 3),
+                rmw_fraction: 0.3,
+                read_shared_fraction: 1.0,
+                write_shared_fraction: 1.0,
+                think_per_op: 8,
+                scan_shared: 0,
+            lead_reads: 0,
+            },
+        ],
+        shared_lines: 32,
+        zipf_theta: 0.6,
+        private_lines_per_node: 16,
+        tx_per_node,
+        inter_tx_think: 25,
+        non_tx_accesses: 0,
+    }
+}
+
+/// No sharing at all: each transaction touches only private lines. Zero
+/// conflicts expected; pins down protocol/HTM overheads and asserts the
+/// mechanisms are no-ops without contention.
+pub fn private_only(tx_per_node: u32) -> WorkloadParams {
+    WorkloadParams {
+        name: "micro-private".into(),
+        static_txs: vec![StaticTxParams {
+            weight: 1.0,
+            reads: (2, 4),
+            writes: (1, 2),
+            rmw_fraction: 0.5,
+            read_shared_fraction: 0.0,
+            write_shared_fraction: 0.0,
+            think_per_op: 5,
+            scan_shared: 0,
+            lead_reads: 0,
+        }],
+        shared_lines: 1,
+        zipf_theta: 0.0,
+        private_lines_per_node: 64,
+        tx_per_node,
+        inter_tx_think: 20,
+        non_tx_accesses: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_workloads_validate() {
+        counter(4, 10).validate();
+        hotspot(10).validate();
+        read_mostly(10).validate();
+        private_only(10).validate();
+    }
+
+    #[test]
+    fn counter_is_pure_rmw() {
+        let p = counter(2, 5);
+        assert_eq!(p.static_txs[0].rmw_fraction, 1.0);
+        assert_eq!(p.static_txs[0].reads, (1, 1));
+        assert_eq!(p.static_txs[0].writes, (1, 1));
+    }
+
+    #[test]
+    fn private_only_never_touches_shared() {
+        let p = private_only(5);
+        assert_eq!(p.static_txs[0].read_shared_fraction, 0.0);
+        assert_eq!(p.static_txs[0].write_shared_fraction, 0.0);
+    }
+}

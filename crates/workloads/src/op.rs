@@ -1,0 +1,114 @@
+//! The operation/trace vocabulary consumed by the core model.
+
+use puno_sim::{Cycles, LineAddr, StaticTxId};
+use serde::{Deserialize, Serialize};
+
+/// One step inside a transaction body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxOp {
+    /// Transactional load of a line.
+    Read(LineAddr),
+    /// Transactional store to a line.
+    Write(LineAddr),
+    /// Local computation (no memory traffic).
+    Think(Cycles),
+}
+
+/// A dynamic transaction instance: a fixed body replayed identically on
+/// retry (synthetic analogue of a deterministic STAMP transaction).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynTxSpec {
+    pub static_tx: StaticTxId,
+    pub ops: Vec<TxOp>,
+}
+
+impl DynTxSpec {
+    /// Number of memory operations in the body.
+    pub fn mem_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, TxOp::Read(_) | TxOp::Write(_)))
+            .count()
+    }
+
+    /// Sum of think cycles in the body (zero-contention lower bound on the
+    /// transaction's length).
+    pub fn think_cycles(&self) -> Cycles {
+        self.ops
+            .iter()
+            .map(|o| if let TxOp::Think(c) = o { *c } else { 0 })
+            .sum()
+    }
+}
+
+/// One unit of a node's program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkItem {
+    /// Execute (and retry until commit) a transaction.
+    Transaction(DynTxSpec),
+    /// Non-transactional compute between transactions.
+    Think(Cycles),
+    /// Non-transactional access to the node's private region.
+    Access { addr: LineAddr, is_write: bool },
+}
+
+/// Everything one node executes during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeProgram {
+    pub items: Vec<WorkItem>,
+}
+
+impl NodeProgram {
+    pub fn transactions(&self) -> impl Iterator<Item = &DynTxSpec> {
+        self.items.iter().filter_map(|i| match i {
+            WorkItem::Transaction(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    pub fn tx_count(&self) -> usize {
+        self.transactions().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_tx_accounting() {
+        let t = DynTxSpec {
+            static_tx: StaticTxId(0),
+            ops: vec![
+                TxOp::Think(5),
+                TxOp::Read(LineAddr(1)),
+                TxOp::Think(3),
+                TxOp::Write(LineAddr(1)),
+            ],
+        };
+        assert_eq!(t.mem_ops(), 2);
+        assert_eq!(t.think_cycles(), 8);
+    }
+
+    #[test]
+    fn program_tx_count() {
+        let p = NodeProgram {
+            items: vec![
+                WorkItem::Think(10),
+                WorkItem::Transaction(DynTxSpec {
+                    static_tx: StaticTxId(0),
+                    ops: vec![],
+                }),
+                WorkItem::Access {
+                    addr: LineAddr(5),
+                    is_write: true,
+                },
+                WorkItem::Transaction(DynTxSpec {
+                    static_tx: StaticTxId(1),
+                    ops: vec![],
+                }),
+            ],
+        };
+        assert_eq!(p.tx_count(), 2);
+    }
+}

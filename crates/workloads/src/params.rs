@@ -1,0 +1,136 @@
+//! Workload parameterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one static transaction (a `TX_BEGIN`/`TX_END` site).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StaticTxParams {
+    /// Relative frequency of this static transaction in the dynamic mix.
+    pub weight: f64,
+    /// Uniform range of transactional reads per instance (inclusive).
+    pub reads: (u32, u32),
+    /// Uniform range of transactional writes per instance (inclusive).
+    pub writes: (u32, u32),
+    /// Fraction of writes that hit a line the instance already read
+    /// (read-modify-write upgrades — RMW-Pred's happy path and the classic
+    /// conflict amplifier).
+    pub rmw_fraction: f64,
+    /// Fraction of reads that target the shared region (rest go private).
+    pub read_shared_fraction: f64,
+    /// Fraction of writes that target the shared region.
+    pub write_shared_fraction: f64,
+    /// Mean think cycles between consecutive operations (geometric).
+    pub think_per_op: u64,
+    /// Labyrinth-style global scan: read this many evenly-strided shared
+    /// lines at transaction start (0 = none).
+    pub scan_shared: u32,
+    /// Hot reads issued back-to-back at the very start of the transaction
+    /// with no think time — the "read the shared structure's entry point
+    /// first" pattern (queue head, tree root, adtree index) that makes
+    /// restarted victims re-enter the sharer lists almost immediately.
+    pub lead_reads: u32,
+}
+
+impl StaticTxParams {
+    /// A small, tame default useful in tests.
+    pub fn simple() -> Self {
+        Self {
+            weight: 1.0,
+            reads: (2, 4),
+            writes: (1, 2),
+            rmw_fraction: 0.5,
+            read_shared_fraction: 1.0,
+            write_shared_fraction: 1.0,
+            think_per_op: 5,
+            scan_shared: 0,
+            lead_reads: 0,
+        }
+    }
+}
+
+/// Full description of a synthetic workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    pub name: String,
+    pub static_txs: Vec<StaticTxParams>,
+    /// Size of the transactionally shared region, in lines.
+    pub shared_lines: u64,
+    /// Zipf exponent for shared-line selection (0 = uniform; ~1 = heavily
+    /// skewed hot spot).
+    pub zipf_theta: f64,
+    /// Private lines per node (non-transactional working set).
+    pub private_lines_per_node: u64,
+    /// Dynamic transactions each node commits before finishing.
+    pub tx_per_node: u32,
+    /// Mean non-transactional think cycles between transactions.
+    pub inter_tx_think: u64,
+    /// Non-transactional private accesses between transactions.
+    pub non_tx_accesses: u32,
+}
+
+impl WorkloadParams {
+    /// Scale the run length (used by quick tests and the figure harness's
+    /// `--scale` knob) without changing the contention signature.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.tx_per_node = ((self.tx_per_node as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    pub fn validate(&self) {
+        assert!(!self.static_txs.is_empty(), "{}: no static transactions", self.name);
+        assert!(self.shared_lines > 0);
+        for (i, st) in self.static_txs.iter().enumerate() {
+            assert!(st.weight > 0.0, "{}: static tx {i} has zero weight", self.name);
+            assert!(st.reads.0 <= st.reads.1);
+            assert!(st.writes.0 <= st.writes.1);
+            assert!((0.0..=1.0).contains(&st.rmw_fraction));
+            assert!((0.0..=1.0).contains(&st.read_shared_fraction));
+            assert!((0.0..=1.0).contains(&st.write_shared_fraction));
+            assert!(
+                (st.scan_shared as u64) <= self.shared_lines,
+                "{}: scan larger than shared region",
+                self.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadParams {
+        WorkloadParams {
+            name: "test".into(),
+            static_txs: vec![StaticTxParams::simple()],
+            shared_lines: 64,
+            zipf_theta: 0.5,
+            private_lines_per_node: 32,
+            tx_per_node: 100,
+            inter_tx_think: 50,
+            non_tx_accesses: 2,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_params() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "scan larger")]
+    fn validate_rejects_oversized_scan() {
+        let mut p = base();
+        p.static_txs[0].scan_shared = 1000;
+        p.validate();
+    }
+
+    #[test]
+    fn scaling_changes_only_tx_count() {
+        let p = base().scaled(0.25);
+        assert_eq!(p.tx_per_node, 25);
+        let p = base().scaled(0.001);
+        assert_eq!(p.tx_per_node, 1, "floors at one transaction");
+    }
+}

@@ -1,0 +1,173 @@
+//! Workload characterization: static analysis of generated programs.
+//!
+//! The harness's Table I check validates the *dynamic* abort rate; these
+//! statistics validate the *static* shape (footprints, sharing degree,
+//! read/write mix) and power the workload-description tables in the docs.
+
+use crate::op::{NodeProgram, TxOp, WorkItem};
+use puno_sim::LineAddr;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregate shape of a set of per-node programs.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ProgramStats {
+    pub transactions: u64,
+    pub mean_reads_per_tx: f64,
+    pub mean_writes_per_tx: f64,
+    pub mean_think_per_tx: f64,
+    /// Distinct shared lines read, across all nodes.
+    pub shared_lines_read: u64,
+    /// Distinct shared lines written.
+    pub shared_lines_written: u64,
+    /// Mean number of distinct nodes whose transactions read each shared
+    /// line that is written by anyone — the "readers per contended line"
+    /// figure that drives false aborting.
+    pub mean_readers_of_written_lines: f64,
+    /// Fraction of transactional writes whose line is also in the same
+    /// transaction's read set (read-modify-write).
+    pub rmw_write_fraction: f64,
+}
+
+/// Characterize programs (one per node). `shared_limit` bounds the address
+/// range considered shared (lines below it).
+pub fn characterize(programs: &[NodeProgram], shared_limit: u64) -> ProgramStats {
+    let mut stats = ProgramStats::default();
+    let mut total_reads = 0u64;
+    let mut total_writes = 0u64;
+    let mut total_think = 0u64;
+    let mut rmw_writes = 0u64;
+    let mut read_lines: BTreeSet<LineAddr> = BTreeSet::new();
+    let mut written_lines: BTreeSet<LineAddr> = BTreeSet::new();
+    // line -> set of nodes that read it transactionally
+    let mut readers: BTreeMap<LineAddr, BTreeSet<usize>> = BTreeMap::new();
+
+    for (node, program) in programs.iter().enumerate() {
+        for item in &program.items {
+            let WorkItem::Transaction(tx) = item else { continue };
+            stats.transactions += 1;
+            let mut tx_reads: BTreeSet<LineAddr> = BTreeSet::new();
+            for op in &tx.ops {
+                match *op {
+                    TxOp::Read(a) => {
+                        total_reads += 1;
+                        if a.0 < shared_limit {
+                            read_lines.insert(a);
+                            readers.entry(a).or_default().insert(node);
+                        }
+                        tx_reads.insert(a);
+                    }
+                    TxOp::Write(a) => {
+                        total_writes += 1;
+                        if a.0 < shared_limit {
+                            written_lines.insert(a);
+                        }
+                        if tx_reads.contains(&a) {
+                            rmw_writes += 1;
+                        }
+                    }
+                    TxOp::Think(c) => total_think += c,
+                }
+            }
+        }
+    }
+
+    let n_tx = stats.transactions.max(1) as f64;
+    stats.mean_reads_per_tx = total_reads as f64 / n_tx;
+    stats.mean_writes_per_tx = total_writes as f64 / n_tx;
+    stats.mean_think_per_tx = total_think as f64 / n_tx;
+    stats.shared_lines_read = read_lines.len() as u64;
+    stats.shared_lines_written = written_lines.len() as u64;
+    stats.rmw_write_fraction = if total_writes == 0 {
+        0.0
+    } else {
+        rmw_writes as f64 / total_writes as f64
+    };
+    let contended: Vec<usize> = written_lines
+        .iter()
+        .filter_map(|l| readers.get(l).map(|r| r.len()))
+        .collect();
+    stats.mean_readers_of_written_lines = if contended.is_empty() {
+        0.0
+    } else {
+        contended.iter().sum::<usize>() as f64 / contended.len() as f64
+    };
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate_program;
+    use crate::stamp::WorkloadId;
+    use puno_sim::NodeId;
+
+    fn programs(w: WorkloadId, nodes: u16) -> (Vec<NodeProgram>, u64) {
+        let params = w.params().scaled(0.2);
+        let progs = (0..nodes)
+            .map(|i| generate_program(&params, NodeId(i), 11))
+            .collect();
+        (progs, params.shared_lines)
+    }
+
+    #[test]
+    fn bayes_has_large_footprints_and_crowded_lines() {
+        let (progs, shared) = programs(WorkloadId::Bayes, 16);
+        let s = characterize(&progs, shared);
+        assert!(s.mean_reads_per_tx > 15.0, "{}", s.mean_reads_per_tx);
+        assert!(
+            s.mean_readers_of_written_lines > 4.0,
+            "written lines must be widely read-shared: {}",
+            s.mean_readers_of_written_lines
+        );
+    }
+
+    #[test]
+    fn ssca2_is_sparse() {
+        let (progs, shared) = programs(WorkloadId::Ssca2, 16);
+        let s = characterize(&progs, shared);
+        assert!(s.mean_reads_per_tx < 4.0);
+        assert!(
+            s.mean_readers_of_written_lines < 4.0,
+            "{}",
+            s.mean_readers_of_written_lines
+        );
+    }
+
+    #[test]
+    fn kmeans_is_rmw_dominated() {
+        let (progs, shared) = programs(WorkloadId::Kmeans, 16);
+        let s = characterize(&progs, shared);
+        assert!(s.rmw_write_fraction > 0.8, "{}", s.rmw_write_fraction);
+    }
+
+    #[test]
+    fn labyrinth_reads_the_whole_grid() {
+        let (progs, shared) = programs(WorkloadId::Labyrinth, 16);
+        let s = characterize(&progs, shared);
+        // Scan of 96 strided lines + extra reads.
+        assert!(s.mean_reads_per_tx > 90.0, "{}", s.mean_reads_per_tx);
+        assert!(s.shared_lines_read >= 90);
+    }
+
+    #[test]
+    fn contention_ranking_matches_table_one() {
+        let crowd = |w| {
+            let (progs, shared) = programs(w, 16);
+            characterize(&progs, shared).mean_readers_of_written_lines
+        };
+        let intruder = crowd(WorkloadId::Intruder);
+        let genome = crowd(WorkloadId::Genome);
+        assert!(
+            intruder > 2.0 * genome,
+            "intruder {intruder} should dwarf genome {genome}"
+        );
+    }
+
+    #[test]
+    fn empty_programs_are_harmless() {
+        let s = characterize(&[NodeProgram::default()], 100);
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.mean_readers_of_written_lines, 0.0);
+    }
+}

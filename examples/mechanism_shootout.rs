@@ -1,0 +1,47 @@
+//! Mechanism shootout: the paper's full comparison matrix — baseline,
+//! randomized linear backoff [17], the RMW predictor [5], and PUNO — on one
+//! workload, with every metric the evaluation section reports.
+//!
+//! ```sh
+//! cargo run --release --example mechanism_shootout [workload] [scale] [seed]
+//! ```
+
+use puno_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("bayes");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let workload = WorkloadId::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .expect("unknown workload");
+    let params = workload.params().scaled(scale);
+
+    println!(
+        "{} (x{scale}, seed {seed}): 16 cores, MESI directory, eager HTM\n",
+        params.name
+    );
+    println!(
+        "{:<11}{:>9}{:>9}{:>8}{:>11}{:>11}{:>9}{:>8}",
+        "mechanism", "commits", "aborts", "rate%", "traffic", "cycles", "blk/req", "G/D"
+    );
+    for mech in Mechanism::ALL {
+        let m = run_workload(mech, &params, seed);
+        println!(
+            "{:<11}{:>9}{:>9}{:>8.1}{:>11}{:>11}{:>9.1}{:>8.2}",
+            mech.name(),
+            m.committed,
+            m.htm.aborts.get(),
+            m.htm.abort_rate() * 100.0,
+            m.traffic_router_traversals,
+            m.cycles,
+            m.dir_blocking_per_tx_getx(),
+            m.htm.gd_ratio(),
+        );
+    }
+    println!("\nColumns map to the paper's figures: aborts = Fig 10, traffic = Fig 11,");
+    println!("blk/req = Fig 12, cycles = Fig 13, G/D = Fig 14.");
+}

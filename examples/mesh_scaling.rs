@@ -1,0 +1,40 @@
+//! Mesh scaling: the paper's future-work question — does the mechanism
+//! still pay off as the CMP grows? Runs the same hotspot contention on
+//! 2x2, 4x4 and 8x8 meshes, baseline vs PUNO.
+//!
+//! ```sh
+//! cargo run --release --example mesh_scaling
+//! ```
+
+use puno_repro::noc::Mesh;
+use puno_repro::prelude::*;
+
+fn main() {
+    println!("hotspot contention vs mesh size (fixed tx/node)\n");
+    println!(
+        "{:<8}{:>8}{:>14}{:>14}{:>14}{:>16}",
+        "mesh", "cores", "base aborts", "puno aborts", "abort ratio", "traffic ratio"
+    );
+    for (w, h) in [(2u16, 2u16), (4, 4), (8, 8)] {
+        let mut base_cfg = SystemConfig::paper(Mechanism::Baseline);
+        base_cfg.mesh = Mesh::new(w, h);
+        let mut puno_cfg = SystemConfig::paper(Mechanism::Puno);
+        puno_cfg.mesh = Mesh::new(w, h);
+
+        let params = micro::hotspot(12);
+        let base = run_with_config(base_cfg, &params, 3);
+        let puno = run_with_config(puno_cfg, &params, 3);
+        let ratio = |p: u64, b: u64| if b == 0 { 1.0 } else { p as f64 / b as f64 };
+        println!(
+            "{:<8}{:>8}{:>14}{:>14}{:>14.3}{:>16.3}",
+            format!("{w}x{h}"),
+            w as u32 * h as u32,
+            base.htm.aborts.get(),
+            puno.htm.aborts.get(),
+            ratio(puno.htm.aborts.get(), base.htm.aborts.get()),
+            ratio(puno.traffic_router_traversals, base.traffic_router_traversals),
+        );
+    }
+    println!("\nMore cores sharing the same hot lines -> wider multicasts -> more");
+    println!("false-abort victims per nacked write -> a larger PUNO win.");
+}

@@ -1,0 +1,39 @@
+//! Workload atlas: the static contention signature of each STAMP-analogue
+//! generator (the data behind DESIGN.md's workload table), computed from
+//! the actual generated programs.
+//!
+//! ```sh
+//! cargo run --release --example workload_atlas
+//! ```
+
+use puno_repro::prelude::*;
+use puno_repro::sim::NodeId;
+use puno_repro::workloads::{characterize, generate_program};
+
+fn main() {
+    println!(
+        "{:<11}{:>9}{:>9}{:>9}{:>10}{:>10}{:>9}{:>9}",
+        "workload", "txs", "rd/tx", "wr/tx", "think/tx", "readers*", "rmw%", "abort%"
+    );
+    for w in WorkloadId::ALL {
+        let params = w.params().scaled(0.25);
+        let programs: Vec<_> = (0..16)
+            .map(|i| generate_program(&params, NodeId(i), 7))
+            .collect();
+        let s = characterize(&programs, params.shared_lines);
+        let run = run_workload(Mechanism::Baseline, &params, 7);
+        println!(
+            "{:<11}{:>9}{:>9.1}{:>9.1}{:>10.0}{:>10.1}{:>8.0}%{:>8.1}%",
+            w.name(),
+            s.transactions,
+            s.mean_reads_per_tx,
+            s.mean_writes_per_tx,
+            s.mean_think_per_tx,
+            s.mean_readers_of_written_lines,
+            s.rmw_write_fraction * 100.0,
+            run.htm.abort_rate() * 100.0,
+        );
+    }
+    println!("\n* mean number of distinct nodes reading each written shared line —");
+    println!("  the crowd a transactional GETX multicast lands on.");
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact at full scale into results/.
+# Usage: scripts/regen_all.sh [scale] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+SEED="${2:-1}"
+export PUNO_JSON_DIR="$PWD/results"
+mkdir -p results
+
+echo "== building =="
+cargo build --release -q -p puno-bench -p puno-harness
+
+run() {
+    local bin="$1"
+    echo "== $bin (scale $SCALE, seed $SEED) =="
+    cargo run --release -q -p puno-bench --bin "$bin" -- "$SCALE" "$SEED" \
+        | tee "results/${bin}.txt"
+}
+
+run table1
+cargo run --release -q -p puno-bench --bin table2 | tee results/table2.txt
+cargo run --release -q -p puno-bench --bin table3 | tee results/table3.txt
+run fig2
+run fig3
+run fig10
+run fig11
+run fig12
+run fig13
+run fig14
+run ablation
+run sensitivity
+run characterize
+
+echo "== done; artifacts in results/ =="

@@ -1,0 +1,185 @@
+//! Shape tests for the paper's headline results, at reduced scale so the
+//! suite stays fast. These pin the *qualitative* claims (who wins, in which
+//! regime), not exact magnitudes.
+
+use puno_repro::prelude::*;
+
+const SCALE: f64 = 0.15;
+const SEED: u64 = 1;
+
+fn run(w: WorkloadId, m: Mechanism) -> RunMetrics {
+    run_workload(m, &w.params().scaled(SCALE), SEED)
+}
+
+#[test]
+fn baseline_exhibits_false_aborting_in_high_contention() {
+    // Section II-C: a sizable share of transactional GETX incur false
+    // aborting in contended workloads.
+    for w in [WorkloadId::Bayes, WorkloadId::Intruder, WorkloadId::Labyrinth] {
+        let m = run(w, Mechanism::Baseline);
+        assert!(
+            m.oracle.false_abort_fraction() > 0.03,
+            "{}: false-abort fraction {:.3} too small",
+            w.name(),
+            m.oracle.false_abort_fraction()
+        );
+    }
+}
+
+#[test]
+fn low_contention_workloads_have_negligible_false_aborting() {
+    for w in [WorkloadId::Genome, WorkloadId::Ssca2] {
+        let m = run(w, Mechanism::Baseline);
+        assert!(
+            m.oracle.false_abort_fraction() < 0.05,
+            "{}: unexpected false aborting {:.3}",
+            w.name(),
+            m.oracle.false_abort_fraction()
+        );
+    }
+}
+
+#[test]
+fn puno_suppresses_false_aborting() {
+    // The core claim: predictive unicast prevents the multicast from
+    // disrupting sharers when the request would be nacked anyway.
+    for w in [WorkloadId::Bayes, WorkloadId::Intruder] {
+        let base = run(w, Mechanism::Baseline);
+        let puno = run(w, Mechanism::Puno);
+        assert!(
+            (puno.oracle.false_aborted_transactions as f64)
+                < base.oracle.false_aborted_transactions as f64 * 0.6,
+            "{}: PUNO false victims {} vs baseline {}",
+            w.name(),
+            puno.oracle.false_aborted_transactions,
+            base.oracle.false_aborted_transactions
+        );
+    }
+}
+
+#[test]
+fn puno_reduces_aborts_in_high_contention() {
+    for w in [WorkloadId::Bayes, WorkloadId::Intruder, WorkloadId::Yada] {
+        let base = run(w, Mechanism::Baseline);
+        let puno = run(w, Mechanism::Puno);
+        assert!(
+            puno.htm.aborts.get() < base.htm.aborts.get(),
+            "{}: PUNO {} vs baseline {} aborts",
+            w.name(),
+            puno.htm.aborts.get(),
+            base.htm.aborts.get()
+        );
+    }
+}
+
+#[test]
+fn puno_reduces_network_traffic_in_high_contention() {
+    // Figure 11's direction, over the whole high-contention group (small
+    // scaled-down runs are individually noisy).
+    let mut base_total = 0u64;
+    let mut puno_total = 0u64;
+    for w in WorkloadId::HIGH_CONTENTION {
+        base_total += run(w, Mechanism::Baseline).traffic_router_traversals;
+        puno_total += run(w, Mechanism::Puno).traffic_router_traversals;
+    }
+    assert!(
+        puno_total < base_total,
+        "PUNO traffic {puno_total} vs baseline {base_total}"
+    );
+}
+
+#[test]
+fn puno_reduces_directory_blocking() {
+    // Figure 12's direction: unicast shrinks the responder set the
+    // directory waits on.
+    let mut better = 0;
+    for w in WorkloadId::HIGH_CONTENTION {
+        let base = run(w, Mechanism::Baseline);
+        let puno = run(w, Mechanism::Puno);
+        if puno.dir_blocking_per_tx_getx() < base.dir_blocking_per_tx_getx() {
+            better += 1;
+        }
+    }
+    assert!(better >= 3, "PUNO should cut blocking in most HC workloads ({better}/4)");
+}
+
+#[test]
+fn rmw_pred_helps_low_contention_but_hurts_high_contention() {
+    // Section IV-B: RMW-Pred shines on kmeans/ssca2-style short
+    // transactions and backfires under contention (converts read-read
+    // sharing into write conflicts).
+    let kmeans_base = run(WorkloadId::Kmeans, Mechanism::Baseline);
+    let kmeans_rmw = run(WorkloadId::Kmeans, Mechanism::RmwPred);
+    assert!(
+        kmeans_rmw.htm.aborts.get() <= kmeans_base.htm.aborts.get(),
+        "kmeans: RMW-Pred should not increase aborts ({} vs {})",
+        kmeans_rmw.htm.aborts.get(),
+        kmeans_base.htm.aborts.get()
+    );
+
+    let bayes_base = run(WorkloadId::Bayes, Mechanism::Baseline);
+    let bayes_rmw = run(WorkloadId::Bayes, Mechanism::RmwPred);
+    assert!(
+        bayes_rmw.cycles > bayes_base.cycles,
+        "bayes: RMW-Pred should slow the run down ({} vs {})",
+        bayes_rmw.cycles,
+        bayes_base.cycles
+    );
+}
+
+#[test]
+fn puno_beats_random_backoff_on_execution_time_in_high_contention() {
+    // Figure 13: notification-guided waits beat blind randomized waits.
+    let mut puno_total = 0u64;
+    let mut backoff_total = 0u64;
+    for w in WorkloadId::HIGH_CONTENTION {
+        puno_total += run(w, Mechanism::Puno).cycles;
+        backoff_total += run(w, Mechanism::RandomBackoff).cycles;
+    }
+    assert!(
+        puno_total < backoff_total,
+        "PUNO {puno_total} vs random backoff {backoff_total} cycles"
+    );
+}
+
+#[test]
+fn prediction_accuracy_is_reasonable() {
+    for w in [WorkloadId::Bayes, WorkloadId::Intruder] {
+        let puno = run(w, Mechanism::Puno);
+        assert!(puno.puno.unicasts.get() > 0, "{}: predictor never engaged", w.name());
+        assert!(
+            puno.puno.accuracy() > 0.5,
+            "{}: accuracy {:.2} too low",
+            w.name(),
+            puno.puno.accuracy()
+        );
+    }
+}
+
+#[test]
+fn all_mechanisms_commit_identical_offered_load() {
+    for w in [WorkloadId::Vacation, WorkloadId::Genome] {
+        let commits: Vec<u64> = Mechanism::ALL
+            .iter()
+            .map(|&m| run(w, m).committed)
+            .collect();
+        assert!(
+            commits.windows(2).all(|p| p[0] == p[1]),
+            "{}: {:?}",
+            w.name(),
+            commits
+        );
+    }
+}
+
+#[test]
+fn mechanisms_are_noops_without_sharing() {
+    // Private-only workload: no conflicts, so every mechanism must behave
+    // identically on aborts (zero) and nearly identically on time.
+    let params = micro::private_only(15);
+    for mech in Mechanism::ALL {
+        let m = run_workload(mech, &params, 9);
+        assert_eq!(m.htm.aborts.get(), 0, "{mech:?} aborted without conflicts");
+        assert_eq!(m.oracle.false_abort_episodes, 0);
+    }
+}
