@@ -1,38 +1,44 @@
-//! Criterion end-to-end benchmarks: one small full-system run per
-//! (experiment, mechanism) cell. These time *simulator throughput* on each
-//! paper experiment's workload; the experiment *results* themselves come
-//! from the `fig*`/`table*` binaries.
+//! End-to-end benchmarks: one small full-system run per (experiment,
+//! mechanism) cell. These time *simulator throughput* on each paper
+//! experiment's workload; the experiment *results* themselves come from the
+//! `fig*`/`table*` binaries.
+//!
+//! Criterion is unavailable in the registryless build, so this is a plain
+//! `harness = false` timing binary.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use puno_harness::{run_workload, Mechanism};
 use puno_workloads::{micro, WorkloadId};
 
-fn bench_mechanisms_on(c: &mut Criterion, group_name: &str, params: puno_workloads::WorkloadParams) {
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
+fn bench_mechanisms_on(group_name: &str, params: puno_workloads::WorkloadParams) {
     for mech in Mechanism::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), &mech, |b, &m| {
-            b.iter(|| black_box(run_workload(m, &params, 1).cycles))
-        });
+        let iters = 5u64;
+        let mut sink = 0u64;
+        sink = sink.wrapping_add(run_workload(mech, &params, 1).cycles); // warm-up
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(black_box(run_workload(mech, &params, 1).cycles));
+        }
+        let per_iter = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        println!(
+            "{group_name}/{:<10} {per_iter:>10.2} ms/run   (sink {sink:x})",
+            mech.name()
+        );
     }
-    group.finish();
 }
 
 /// Figure 10-14 cells ride the same sweep; benchmark the two contention
 /// extremes plus a micro hotspot.
-fn bench_full_system(c: &mut Criterion) {
+fn main() {
     bench_mechanisms_on(
-        c,
         "full_system/intruder_small",
         WorkloadId::Intruder.params().scaled(0.05),
     );
     bench_mechanisms_on(
-        c,
         "full_system/ssca2_small",
         WorkloadId::Ssca2.params().scaled(0.05),
     );
-    bench_mechanisms_on(c, "full_system/hotspot", micro::hotspot(5));
+    bench_mechanisms_on("full_system/hotspot", micro::hotspot(5));
 }
-
-criterion_group!(benches, bench_full_system);
-criterion_main!(benches);

@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks of the simulation substrate: the event queue,
-//! the NoC, the directory state machine, and the PUNO predictor structures.
-//! These pin the cost of the building blocks so regressions in simulator
-//! throughput are caught separately from changes in simulated behaviour.
+//! Microbenchmarks of the simulation substrate: the event queue, the NoC,
+//! the directory state machine, and the PUNO predictor structures. These pin
+//! the cost of the building blocks so regressions in simulator throughput are
+//! caught separately from changes in simulated behaviour.
+//!
+//! Criterion is unavailable in the registryless build, so this is a plain
+//! `harness = false` timing binary: each benchmark is warmed up once and then
+//! timed over a fixed iteration count.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use puno_coherence::directory::{DirConfig, DirectoryBank};
 use puno_coherence::msg::{CoherenceMsg, TxInfo};
 use puno_coherence::predictor::NullPredictor;
@@ -12,142 +18,147 @@ use puno_core::{PBuffer, PunoConfig, PunoPredictor, TxLengthBuffer};
 use puno_noc::{Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS};
 use puno_sim::{EventQueue, LineAddr, NodeId, SimRng, StaticTxId, Timestamp, TxId};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule_at(i % 97, i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
-    });
+fn bench(name: &str, iters: u64, mut f: impl FnMut() -> u64) {
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("{name:<44} {per_iter:>12.3} us/iter   (sink {sink:x})");
 }
 
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("noc/uniform_random_256_packets", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| {
-            let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
-            for i in 0..256u32 {
-                let src = NodeId(rng.gen_range(16) as u16);
-                let dst = NodeId(rng.gen_range(16) as u16);
-                net.inject(0, src, dst, VirtualNetwork::Request, CONTROL_FLITS, i);
-            }
-            let mut now = 0;
-            let mut delivered = 0;
-            while !net.is_idle() {
-                delivered += net.step(now).len();
-                now += 1;
-            }
-            black_box(delivered)
-        })
-    });
-}
-
-fn bench_directory(c: &mut Criterion) {
-    c.bench_function("directory/gets_getx_unblock_cycle", |b| {
-        b.iter(|| {
-            let mut bank = DirectoryBank::new(NodeId(0), DirConfig::default());
-            let mut p = NullPredictor;
-            let info = TxInfo {
-                tx: TxId(1),
-                timestamp: Timestamp(1),
-                static_tx: StaticTxId(0),
-                avg_len_hint: 100,
-            };
-            // First touch: memory fetch, then unblock, then a GETX cycle.
-            bank.handle(
-                0,
-                CoherenceMsg::Gets {
-                    addr: LineAddr(1),
-                    requester: NodeId(1),
-                    tx: Some(info),
-                },
-                &mut p,
-            );
-            bank.mem_ready(200, LineAddr(1), &mut p);
-            bank.handle(
-                220,
-                CoherenceMsg::Unblock {
-                    addr: LineAddr(1),
-                    requester: NodeId(1),
-                    success: true,
-                    nackers: SharerSet::EMPTY,
-                    mp_node: None,
-                    tx: None,
-                },
-                &mut p,
-            );
-            black_box(bank.holders_of(LineAddr(1)))
-        })
-    });
-}
-
-fn bench_pbuffer(c: &mut Criterion) {
-    c.bench_function("pbuffer/update_and_ud_scan", |b| {
-        let mut pb = PBuffer::new(16);
-        for i in 0..16u16 {
-            pb.update(NodeId(i), Timestamp(i as u64 * 10));
+fn bench_event_queue() {
+    bench("event_queue/schedule_pop_1k", 500, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule_at(i % 97, i);
         }
-        let holders: Vec<NodeId> = (0..16).map(NodeId).collect();
-        b.iter(|| {
-            pb.update(NodeId(3), Timestamp(black_box(42)));
-            black_box(pb.highest_priority_among(holders.iter().copied()))
-        })
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("puno_predictor/predict_unicast", |b| {
-        let mut p = PunoPredictor::new(PunoConfig::default());
-        use puno_coherence::UnicastPredictor;
-        let info = |ts| TxInfo {
-            tx: TxId(ts),
-            timestamp: Timestamp(ts),
+fn bench_noc() {
+    let mut rng = SimRng::new(7);
+    bench("noc/uniform_random_256_packets", 200, move || {
+        let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
+        for i in 0..256u32 {
+            let src = NodeId(rng.gen_range(16) as u16);
+            let dst = NodeId(rng.gen_range(16) as u16);
+            net.inject(0, src, dst, VirtualNetwork::Request, CONTROL_FLITS, i);
+        }
+        let mut now = 0;
+        let mut delivered = 0u64;
+        while !net.is_idle() {
+            delivered += net.step(now).len() as u64;
+            now += 1;
+        }
+        black_box(delivered)
+    });
+}
+
+fn bench_directory() {
+    bench("directory/gets_getx_unblock_cycle", 20_000, || {
+        let mut bank = DirectoryBank::new(NodeId(0), DirConfig::default());
+        let mut p = NullPredictor;
+        let info = TxInfo {
+            tx: TxId(1),
+            timestamp: Timestamp(1),
             static_tx: StaticTxId(0),
-            avg_len_hint: 500,
+            avg_len_hint: 100,
         };
-        for i in 0..16u16 {
-            p.observe_request(0, NodeId(i), &info(i as u64 * 100 + 10));
-        }
-        let holders: SharerSet = (1..8u16).map(NodeId).collect();
-        b.iter(|| {
-            black_box(p.predict_unicast(
+        // First touch: memory fetch, then unblock, then a GETX cycle.
+        bank.handle(
+            0,
+            CoherenceMsg::Gets {
+                addr: LineAddr(1),
+                requester: NodeId(1),
+                tx: Some(info),
+            },
+            &mut p,
+        );
+        bank.mem_ready(200, LineAddr(1), &mut p);
+        bank.handle(
+            220,
+            CoherenceMsg::Unblock {
+                addr: LineAddr(1),
+                requester: NodeId(1),
+                success: true,
+                nackers: SharerSet::EMPTY,
+                mp_node: None,
+                tx: None,
+            },
+            &mut p,
+        );
+        black_box(bank.holders_of(LineAddr(1)).len() as u64)
+    });
+}
+
+fn bench_pbuffer() {
+    let mut pb = PBuffer::new(16);
+    for i in 0..16u16 {
+        pb.update(NodeId(i), Timestamp(i as u64 * 10));
+    }
+    let holders: Vec<NodeId> = (0..16).map(NodeId).collect();
+    bench("pbuffer/update_and_ud_scan", 100_000, move || {
+        pb.update(NodeId(3), Timestamp(black_box(42)));
+        black_box(
+            pb.highest_priority_among(holders.iter().copied())
+                .map(|(n, _)| n.0 as u64)
+                .unwrap_or(u64::MAX),
+        )
+    });
+}
+
+fn bench_predictor() {
+    use puno_coherence::UnicastPredictor;
+    let mut p = PunoPredictor::new(PunoConfig::default());
+    let info = |ts| TxInfo {
+        tx: TxId(ts),
+        timestamp: Timestamp(ts),
+        static_tx: StaticTxId(0),
+        avg_len_hint: 500,
+    };
+    for i in 0..16u16 {
+        p.observe_request(0, NodeId(i), &info(i as u64 * 100 + 10));
+    }
+    let holders: SharerSet = (1..8u16).map(NodeId).collect();
+    bench("puno_predictor/predict_unicast", 100_000, move || {
+        black_box(
+            p.predict_unicast(
                 black_box(50),
                 LineAddr(9),
                 NodeId(0),
                 &info(5000),
                 holders,
                 false,
-            ))
-        })
+            )
+            .map(|t| t.node.0 as u64)
+            .unwrap_or(u64::MAX),
+        )
     });
 }
 
-fn bench_txlb(c: &mut Criterion) {
-    c.bench_function("txlb/record_and_estimate", |b| {
-        let mut txlb = TxLengthBuffer::paper();
-        let mut i = 0u32;
-        b.iter(|| {
-            txlb.record_commit(StaticTxId(i % 8), 100 + (i as u64 % 50));
-            i += 1;
-            black_box(txlb.estimate(StaticTxId(i % 8)))
-        })
+fn bench_txlb() {
+    let mut txlb = TxLengthBuffer::paper();
+    let mut i = 0u32;
+    bench("txlb/record_and_estimate", 100_000, move || {
+        txlb.record_commit(StaticTxId(i % 8), 100 + (i as u64 % 50));
+        i += 1;
+        black_box(txlb.estimate(StaticTxId(i % 8)).unwrap_or(0))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_noc,
-    bench_directory,
-    bench_pbuffer,
-    bench_predictor,
-    bench_txlb
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_noc();
+    bench_directory();
+    bench_pbuffer();
+    bench_predictor();
+    bench_txlb();
+}

@@ -53,7 +53,11 @@ fn variants() -> Vec<Variant> {
         let mut c = base;
         c.puno.rollover_factor = factor;
         v.push(Variant {
-            name: if factor == 1 { "rollover-1x" } else { "rollover-4x" },
+            name: if factor == 1 {
+                "rollover-1x"
+            } else {
+                "rollover-4x"
+            },
             config: c,
         });
     }

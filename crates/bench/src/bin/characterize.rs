@@ -18,7 +18,16 @@ fn main() {
     );
     println!(
         "{:<11}{:>7}{:>8}{:>8}{:>10}{:>8}{:>9}{:>9}{:>10}{:>8}",
-        "workload", "rd/tx", "wr/tx", "rmw%", "readers*", "abort%", "false%", "vict/ep", "linkskew", "Mcycles"
+        "workload",
+        "rd/tx",
+        "wr/tx",
+        "rmw%",
+        "readers*",
+        "abort%",
+        "false%",
+        "vict/ep",
+        "linkskew",
+        "Mcycles"
     );
     let mut json = Vec::new();
     for w in WorkloadId::ALL {

@@ -2,7 +2,7 @@
 //! unnecessarily per false-aborting request (baseline).
 
 use puno_bench::{baseline_sweep, parse_args, save_json};
-use puno_harness::sweep::find;
+use puno_harness::sweep::find_expect;
 use puno_harness::Mechanism;
 use puno_workloads::WorkloadId;
 
@@ -15,7 +15,7 @@ fn main() {
     );
     let mut json = Vec::new();
     for &w in &WorkloadId::ALL {
-        let m = find(&results, w, Mechanism::Baseline);
+        let m = find_expect(&results, w, Mechanism::Baseline);
         let h = &m.oracle.victims_per_episode;
         if h.count() == 0 {
             println!("{:<11} (no false aborting)", w.name());
@@ -28,10 +28,7 @@ fn main() {
             print!(" {victims}:{frac:>5.1}%");
             dist.push(frac);
         }
-        let tail: f64 = (9..17)
-            .map(|v| h.fraction(v))
-            .sum::<f64>()
-            * 100.0
+        let tail: f64 = (9..17).map(|v| h.fraction(v)).sum::<f64>() * 100.0
             + h.overflow() as f64 / h.count() as f64 * 100.0;
         println!("  9+:{tail:>5.1}%  mean {:.2}", h.mean());
         json.push(serde_json::json!({

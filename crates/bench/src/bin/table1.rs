@@ -2,21 +2,24 @@
 //! paper-reported vs measured on this simulator.
 
 use puno_bench::{baseline_sweep, parse_args, save_json};
-use puno_harness::sweep::find;
+use puno_harness::sweep::find_expect;
 use puno_harness::Mechanism;
 use puno_workloads::table1_rows;
 
 fn main() {
     let args = parse_args();
     let results = baseline_sweep(args);
-    println!("Table I — benchmark inputs and abort rates (scale {}, seed {})", args.scale, args.seed);
+    println!(
+        "Table I — benchmark inputs and abort rates (scale {}, seed {})",
+        args.scale, args.seed
+    );
     println!(
         "{:<11}{:<36}{:>10}{:>10}  {:>6}",
         "benchmark", "paper input parameters", "paper %", "ours %", "band"
     );
     let mut rows_json = Vec::new();
     for row in table1_rows() {
-        let m = find(&results, row.workload, Mechanism::Baseline);
+        let m = find_expect(&results, row.workload, Mechanism::Baseline);
         let rate = m.htm.abort_rate() * 100.0;
         let in_band = rate >= row.expected_abort_band.0 && rate <= row.expected_abort_band.1;
         println!(

@@ -41,14 +41,18 @@ pub fn full_sweep(args: Args) -> Vec<Vec<SweepResult>> {
 /// Run the baseline only (for the characterization artifacts: Table I,
 /// Figures 2 and 3).
 pub fn baseline_sweep(args: Args) -> Vec<SweepResult> {
-    sweep(&WorkloadId::ALL, &[Mechanism::Baseline], args.seed, args.scale)
+    sweep(
+        &WorkloadId::ALL,
+        &[Mechanism::Baseline],
+        args.seed,
+        args.scale,
+    )
 }
 
 /// Build, print and (optionally) save one normalized figure, aggregating
 /// across seeds when more than one sweep is supplied.
 pub fn emit_figure(name: &str, metric: FigureMetric, per_seed: &[Vec<SweepResult>]) {
-    let fig =
-        NormalizedFigure::build_multi(metric, per_seed, &WorkloadId::ALL, &Mechanism::ALL);
+    let fig = NormalizedFigure::build_multi(metric, per_seed, &WorkloadId::ALL, &Mechanism::ALL);
     println!("== {name}: {} ==", metric.name());
     print!("{}", fig.render());
     save_json(name, &figure_json(&fig));

@@ -175,9 +175,7 @@ impl DirectoryBank {
 
     /// Debug/test visibility: is the entry busy?
     pub fn is_busy(&self, addr: LineAddr) -> bool {
-        self.entries
-            .get(&addr)
-            .is_some_and(|e| e.busy.is_some())
+        self.entries.get(&addr).is_some_and(|e| e.busy.is_some())
     }
 
     /// Process a message addressed to this home bank.
@@ -199,7 +197,10 @@ impl DirectoryBank {
         addr: LineAddr,
         _predictor: &mut P,
     ) -> Vec<DirAction> {
-        let entry = self.entries.get_mut(&addr).expect("mem_ready for unknown line");
+        let entry = self
+            .entries
+            .get_mut(&addr)
+            .expect("mem_ready for unknown line");
         let busy = entry.busy.as_mut().expect("mem_ready for non-busy line");
         let BusyKind::MemFetch { is_getx } = busy.kind else {
             panic!("mem_ready while not fetching");
@@ -237,10 +238,14 @@ impl DirectoryBank {
     ) {
         // P-Buffer learns the priority of every transactional requester.
         if let CoherenceMsg::Gets {
-            requester, tx: Some(info), ..
+            requester,
+            tx: Some(info),
+            ..
         }
         | CoherenceMsg::Getx {
-            requester, tx: Some(info), ..
+            requester,
+            tx: Some(info),
+            ..
         } = &msg
         {
             predictor.observe_request(now, *requester, info);
@@ -273,7 +278,9 @@ impl DirectoryBank {
                 if let Some(info) = &tx {
                     predictor.observe_request(now, requester, info);
                 }
-                self.on_unblock(now, addr, requester, success, nackers, mp_node, predictor, actions);
+                self.on_unblock(
+                    now, addr, requester, success, nackers, mp_node, predictor, actions,
+                );
             }
             CoherenceMsg::WbData { addr, .. } => {
                 // Sharing writeback from a downgrading owner: refreshes the
@@ -297,19 +304,35 @@ impl DirectoryBank {
         actions: &mut Vec<DirAction>,
     ) {
         match msg {
-            CoherenceMsg::Gets { addr, requester, tx } => {
+            CoherenceMsg::Gets {
+                addr,
+                requester,
+                tx,
+            } => {
                 self.stats.gets_received.inc();
                 self.service_gets(now, addr, requester, tx, actions);
             }
-            CoherenceMsg::Getx { addr, requester, tx } => {
+            CoherenceMsg::Getx {
+                addr,
+                requester,
+                tx,
+            } => {
                 self.stats.getx_received.inc();
                 if tx.is_some() {
                     self.stats.tx_getx_received.inc();
                 }
                 self.service_getx(now, addr, requester, tx, predictor, actions);
             }
-            CoherenceMsg::Putx { addr, owner, sticky }
-            | CoherenceMsg::Puts { addr, owner, sticky } => {
+            CoherenceMsg::Putx {
+                addr,
+                owner,
+                sticky,
+            }
+            | CoherenceMsg::Puts {
+                addr,
+                owner,
+                sticky,
+            } => {
                 self.stats.putx_received.inc();
                 self.service_putx(addr, owner, sticky, actions);
             }
@@ -664,7 +687,10 @@ impl DirectoryBank {
         actions: &mut Vec<DirAction>,
     ) {
         let (holders, tx_getx, blocked_for) = {
-            let entry = self.entries.get_mut(&addr).expect("unblock for unknown line");
+            let entry = self
+                .entries
+                .get_mut(&addr)
+                .expect("unblock for unknown line");
             let busy = entry.busy.take().expect("unblock for non-busy line");
             assert_eq!(
                 busy.requester, requester,
@@ -750,7 +776,9 @@ impl DirectoryBank {
             if entry.busy.is_some() {
                 break;
             }
-            let Some(next) = entry.waiting.pop_front() else { break };
+            let Some(next) = entry.waiting.pop_front() else {
+                break;
+            };
             self.service(now, next, predictor, actions);
         }
     }
@@ -857,7 +885,12 @@ mod tests {
         match &acts[0] {
             DirAction::Send {
                 dst,
-                msg: CoherenceMsg::Data { exclusive, acks_expected, .. },
+                msg:
+                    CoherenceMsg::Data {
+                        exclusive,
+                        acks_expected,
+                        ..
+                    },
                 ..
             } => {
                 assert_eq!(*dst, NodeId(3));
@@ -945,7 +978,15 @@ mod tests {
         // Only one Inv (to node 5); requester gets UpgradeAck, not Data.
         let n_inv = acts
             .iter()
-            .filter(|a| matches!(a, DirAction::Send { msg: CoherenceMsg::Inv { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    DirAction::Send {
+                        msg: CoherenceMsg::Inv { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(n_inv, 1);
         assert!(acts.iter().any(|a| matches!(
@@ -1005,7 +1046,9 @@ mod tests {
             holders: SharerSet,
             _: bool,
         ) -> Option<PredictedTarget> {
-            holders.contains(self.0).then_some(PredictedTarget { node: self.0 })
+            holders
+                .contains(self.0)
+                .then_some(PredictedTarget { node: self.0 })
         }
         fn on_mispredict_feedback(&mut self, _: Cycle, _: LineAddr, _: NodeId) {}
         fn after_service(&mut self, _: Cycle, _: LineAddr, _: SharerSet) {}
@@ -1092,7 +1135,10 @@ mod tests {
         assert!(matches!(
             acts[0],
             DirAction::Send {
-                msg: CoherenceMsg::Data { exclusive: true, .. },
+                msg: CoherenceMsg::Data {
+                    exclusive: true,
+                    ..
+                },
                 delay: 20,
                 ..
             }

@@ -187,11 +187,7 @@ impl L1Cache {
 
     /// Install a line, evicting if needed. The caller handles `Dirty`
     /// evictions by issuing a PUTX writeback.
-    pub fn fill(
-        &mut self,
-        addr: LineAddr,
-        state: LineState,
-    ) -> Result<Eviction, CapacityConflict> {
+    pub fn fill(&mut self, addr: LineAddr, state: LineState) -> Result<Eviction, CapacityConflict> {
         if let Some(w) = self.way_mut(addr) {
             // Refill of a resident line is a state change.
             w.state = state;
@@ -285,7 +281,10 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(LineAddr(4), false), LookupOutcome::Miss);
         c.fill(LineAddr(4), LineState::Shared).unwrap();
-        assert_eq!(c.access(LineAddr(4), false), LookupOutcome::Hit(LineState::Shared));
+        assert_eq!(
+            c.access(LineAddr(4), false),
+            LookupOutcome::Hit(LineState::Shared)
+        );
     }
 
     #[test]
@@ -294,7 +293,10 @@ mod tests {
         c.fill(LineAddr(4), LineState::Shared).unwrap();
         assert_eq!(c.access(LineAddr(4), true), LookupOutcome::UpgradeNeeded);
         c.set_state(LineAddr(4), LineState::Modified);
-        assert_eq!(c.access(LineAddr(4), true), LookupOutcome::Hit(LineState::Modified));
+        assert_eq!(
+            c.access(LineAddr(4), true),
+            LookupOutcome::Hit(LineState::Modified)
+        );
     }
 
     #[test]
@@ -339,7 +341,10 @@ mod tests {
         c.fill(LineAddr(2), LineState::Modified).unwrap();
         c.pin(LineAddr(2));
         // Set 0 is full of pinned lines: overflow.
-        assert_eq!(c.fill(LineAddr(4), LineState::Shared), Err(CapacityConflict));
+        assert_eq!(
+            c.fill(LineAddr(4), LineState::Shared),
+            Err(CapacityConflict)
+        );
         c.unpin_all();
         assert!(c.fill(LineAddr(4), LineState::Shared).is_ok());
     }
@@ -371,7 +376,10 @@ mod tests {
         c.fill(LineAddr(0), LineState::Shared).unwrap();
         c.fill(LineAddr(2), LineState::Shared).unwrap();
         // Probe 0 (should NOT refresh it), then fill: 0 is still LRU.
-        assert_eq!(c.probe(LineAddr(0), false), LookupOutcome::Hit(LineState::Shared));
+        assert_eq!(
+            c.probe(LineAddr(0), false),
+            LookupOutcome::Hit(LineState::Shared)
+        );
         let ev = c.fill(LineAddr(4), LineState::Shared).unwrap();
         assert_eq!(ev, Eviction::Silent(LineAddr(0)));
     }

@@ -157,9 +157,7 @@ pub enum CoherenceMsg {
         tx: Option<TxInfo>,
     },
     /// Writeback acknowledgement to an evicting owner.
-    WbAck {
-        addr: puno_sim::LineAddr,
-    },
+    WbAck { addr: puno_sim::LineAddr },
     /// EXTENSION (paper §VI future work): a nacker that finished (committed
     /// or aborted) pokes the requesters it previously nacked-with-
     /// notification, so an oversleeping backoff ends the moment the line is

@@ -41,7 +41,8 @@ impl DirStats {
         self.mem_fetches.add(other.mem_fetches.get());
         self.invalidations_sent.add(other.invalidations_sent.get());
         self.unicasts_sent.add(other.unicasts_sent.get());
-        self.mispredict_feedback.add(other.mispredict_feedback.get());
+        self.mispredict_feedback
+            .add(other.mispredict_feedback.get());
         self.blocking_cycles_all.merge(&other.blocking_cycles_all);
         self.blocking_cycles_tx_getx
             .merge(&other.blocking_cycles_tx_getx);

@@ -1,14 +1,14 @@
 //! Directory protocol scenario tests: multi-step message choreographies
 //! exercising queuing, upgrades, writebacks and the PUNO probe paths, plus
-//! a property test that random legal request sequences never corrupt the
-//! sharer bookkeeping.
+//! a randomized test that random legal request sequences never corrupt the
+//! sharer bookkeeping (fixed-seed `SimRng`; the registryless build cannot
+//! use proptest).
 
-use proptest::prelude::*;
 use puno_coherence::directory::{DirAction, DirConfig, DirectoryBank};
 use puno_coherence::msg::{CoherenceMsg, StickyKind, TxInfo};
 use puno_coherence::predictor::NullPredictor;
 use puno_coherence::sharers::SharerSet;
-use puno_sim::{LineAddr, NodeId, StaticTxId, Timestamp, TxId};
+use puno_sim::{LineAddr, NodeId, SimRng, StaticTxId, Timestamp, TxId};
 
 fn info(ts: u64) -> TxInfo {
     TxInfo {
@@ -55,7 +55,11 @@ fn seed_shared(bank: &mut DirectoryBank, addr: u64, nodes: &[u16]) {
                 &mut p,
             );
         } else {
-            bank.handle(i as u64 * 100 + 60, unblock(addr, n, true, SharerSet::EMPTY), &mut p);
+            bank.handle(
+                i as u64 * 100 + 60,
+                unblock(addr, n, true, SharerSet::EMPTY),
+                &mut p,
+            );
         }
     }
     assert_eq!(bank.holders_of(LineAddr(addr)).len() as usize, nodes.len());
@@ -77,7 +81,15 @@ fn five_readers_then_writer_takes_ownership() {
     );
     let invs = acts
         .iter()
-        .filter(|a| matches!(a, DirAction::Send { msg: CoherenceMsg::Inv { .. }, .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                DirAction::Send {
+                    msg: CoherenceMsg::Inv { .. },
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(invs, 5, "exhaustive multicast to all five sharers");
     bank.handle(1100, unblock(16, 6, true, SharerSet::EMPTY), &mut p);
@@ -182,10 +194,18 @@ fn writeback_then_reload_uses_l2() {
     assert_eq!(bank.owner_of(LineAddr(2)), None);
     // Reload by node 8: L2 hit (no FetchMem) with exclusive grant.
     let acts = bank.handle(200, gets(2, 8), &mut p);
-    assert!(acts.iter().all(|a| !matches!(a, DirAction::FetchMem { .. })));
+    assert!(acts
+        .iter()
+        .all(|a| !matches!(a, DirAction::FetchMem { .. })));
     assert!(acts.iter().any(|a| matches!(
         a,
-        DirAction::Send { msg: CoherenceMsg::Data { exclusive: true, .. }, .. }
+        DirAction::Send {
+            msg: CoherenceMsg::Data {
+                exclusive: true,
+                ..
+            },
+            ..
+        }
     )));
 }
 
@@ -203,7 +223,13 @@ fn puts_clean_eviction_clears_owner() {
         },
         &mut p,
     );
-    assert!(matches!(acts[0], DirAction::Send { msg: CoherenceMsg::WbAck { .. }, .. }));
+    assert!(matches!(
+        acts[0],
+        DirAction::Send {
+            msg: CoherenceMsg::WbAck { .. },
+            ..
+        }
+    ));
     assert_eq!(bank.owner_of(LineAddr(2)), None);
 }
 
@@ -222,7 +248,8 @@ fn failed_unicast_probe_preserves_all_sharers() {
             h: SharerSet,
             _: bool,
         ) -> Option<PredictedTarget> {
-            h.contains(self.0).then_some(PredictedTarget { node: self.0 })
+            h.contains(self.0)
+                .then_some(PredictedTarget { node: self.0 })
         }
         fn on_mispredict_feedback(&mut self, _: u64, _: LineAddr, _: NodeId) {}
         fn after_service(&mut self, _: u64, _: LineAddr, _: SharerSet) {}
@@ -253,19 +280,30 @@ fn failed_unicast_probe_preserves_all_sharers() {
         },
         &mut fixed,
     );
-    assert_eq!(bank.holders_of(LineAddr(32)).len(), 4, "nobody was invalidated");
+    assert_eq!(
+        bank.holders_of(LineAddr(32)).len(),
+        4,
+        "nobody was invalidated"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    /// Random sequences of (request, immediate successful unblock) keep the
-    /// directory's bookkeeping sane: at most one owner, owner and sharer
-    /// state never coexist, and the bank never panics.
-    #[test]
-    fn random_episodes_keep_invariants(
-        ops in proptest::collection::vec((0u8..3, 0u16..8, 0u64..4), 1..60),
-    ) {
+/// Random sequences of (request, immediate successful unblock) keep the
+/// directory's bookkeeping sane: at most one owner, owner and sharer state
+/// never coexist, and the bank never panics.
+#[test]
+fn random_episodes_keep_invariants() {
+    let mut rng = SimRng::new(0x5eed_0008);
+    for case in 0..48 {
+        let n_ops = 1 + rng.gen_range(59) as usize;
+        let ops: Vec<(u8, u16, u64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.gen_range(3) as u8,
+                    rng.gen_range(8) as u16,
+                    rng.gen_range(4),
+                )
+            })
+            .collect();
         let mut bank = DirectoryBank::new(NodeId(0), DirConfig::default());
         let mut p = NullPredictor;
         let mut now = 0u64;
@@ -291,7 +329,11 @@ proptest! {
                     }
                 }
                 1 => {
-                    let msg = CoherenceMsg::Getx { addr, requester: req, tx: Some(info(now)) };
+                    let msg = CoherenceMsg::Getx {
+                        addr,
+                        requester: req,
+                        tx: Some(info(now)),
+                    };
                     let acts = bank.handle(now, msg, &mut p);
                     if acts.iter().any(|a| matches!(a, DirAction::FetchMem { .. })) {
                         bank.mem_ready(now + 1, addr, &mut p);
@@ -303,15 +345,26 @@ proptest! {
                 _ => {
                     // Eviction notice; only meaningful from the owner, but
                     // stale PUTX must be tolerated.
-                    bank.handle(now, CoherenceMsg::Putx { addr, owner: req, sticky: StickyKind::None }, &mut p);
+                    bank.handle(
+                        now,
+                        CoherenceMsg::Putx {
+                            addr,
+                            owner: req,
+                            sticky: StickyKind::None,
+                        },
+                        &mut p,
+                    );
                 }
             }
             // Invariants.
             let holders = bank.holders_of(addr);
             if let Some(owner) = bank.owner_of(addr) {
-                prop_assert_eq!(holders, SharerSet::single(owner));
+                assert_eq!(holders, SharerSet::single(owner), "case {case}");
             }
-            prop_assert!(!bank.is_busy(addr), "episodes are closed each step");
+            assert!(
+                !bank.is_busy(addr),
+                "case {case}: episodes are closed each step"
+            );
         }
     }
 }

@@ -215,7 +215,14 @@ mod tests {
         p.observe_request(0, NodeId(3), &info(250));
         p.observe_request(0, NodeId(4), &info(400));
         // Figure 8(b): requester (ts 180) loses to node 1 (ts 100).
-        let t = p.predict_unicast(10, LineAddr(7), NodeId(2), &info(180), holders(&[1, 3, 4]), false);
+        let t = p.predict_unicast(
+            10,
+            LineAddr(7),
+            NodeId(2),
+            &info(180),
+            holders(&[1, 3, 4]),
+            false,
+        );
         assert_eq!(t, Some(PredictedTarget { node: NodeId(1) }));
         assert_eq!(p.stats().unicasts.get(), 1);
     }
@@ -225,7 +232,14 @@ mod tests {
         let mut p = predictor();
         p.observe_request(0, NodeId(1), &info(300));
         p.observe_request(0, NodeId(3), &info(400));
-        let t = p.predict_unicast(10, LineAddr(7), NodeId(2), &info(50), holders(&[1, 3]), false);
+        let t = p.predict_unicast(
+            10,
+            LineAddr(7),
+            NodeId(2),
+            &info(50),
+            holders(&[1, 3]),
+            false,
+        );
         assert_eq!(t, None);
         assert_eq!(p.stats().declined.get(), 1);
     }
@@ -233,7 +247,14 @@ mod tests {
     #[test]
     fn no_prediction_without_valid_priorities() {
         let mut p = predictor();
-        let t = p.predict_unicast(10, LineAddr(7), NodeId(2), &info(180), holders(&[1, 3]), false);
+        let t = p.predict_unicast(
+            10,
+            LineAddr(7),
+            NodeId(2),
+            &info(180),
+            holders(&[1, 3]),
+            false,
+        );
         assert_eq!(t, None);
     }
 
@@ -268,21 +289,32 @@ mod tests {
 
     #[test]
     fn stale_priorities_time_out_via_rollover() {
-        let mut cfg = PunoConfig::default();
-        cfg.rollover_min = 100;
-        cfg.rollover_max = 100;
+        let cfg = PunoConfig {
+            rollover_min: 100,
+            rollover_max: 100,
+            ..PunoConfig::default()
+        };
         let mut p = PunoPredictor::new(cfg);
         p.observe_request(0, NodeId(1), &info(100));
         // Two rollover periods with no refresh: validity 2 -> 0.
-        let t = p.predict_unicast(250, LineAddr(7), NodeId(2), &info(180), holders(&[1]), false);
+        let t = p.predict_unicast(
+            250,
+            LineAddr(7),
+            NodeId(2),
+            &info(180),
+            holders(&[1]),
+            false,
+        );
         assert_eq!(t, None, "timed-out priority must not drive prediction");
         assert!(p.stats().timeouts.get() >= 2);
     }
 
     #[test]
     fn disabled_unicast_never_predicts() {
-        let mut cfg = PunoConfig::default();
-        cfg.unicast_enabled = false;
+        let cfg = PunoConfig {
+            unicast_enabled: false,
+            ..PunoConfig::default()
+        };
         let mut p = PunoPredictor::new(cfg);
         p.observe_request(0, NodeId(1), &info(100));
         assert_eq!(

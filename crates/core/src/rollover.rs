@@ -125,6 +125,9 @@ mod tests {
             r.observe_tx_len(200);
         }
         let p = r.period();
-        assert!((64..=400).contains(&p), "period {p} should track ~200-cycle txs");
+        assert!(
+            (64..=400).contains(&p),
+            "period {p} should track ~200-cycle txs"
+        );
     }
 }

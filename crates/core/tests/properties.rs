@@ -1,10 +1,10 @@
-//! Property tests for PUNO's hardware structures: the validity-counter FSM
+//! Randomized tests for PUNO's hardware structures: the validity-counter FSM
 //! against a reference model, the P-Buffer/UD computation against brute
-//! force, and TxLB formula-(1) convergence.
+//! force, and TxLB formula-(1) convergence. Cases come from a fixed-seed
+//! `SimRng` (the registryless build cannot use proptest).
 
-use proptest::prelude::*;
 use puno_core::{PBuffer, TxLengthBuffer, ValidityCounter};
-use puno_sim::{NodeId, StaticTxId, Timestamp};
+use puno_sim::{NodeId, SimRng, StaticTxId, Timestamp};
 
 #[derive(Clone, Copy, Debug)]
 enum VOp {
@@ -13,12 +13,13 @@ enum VOp {
     Invalidate,
 }
 
-fn arb_vop() -> impl Strategy<Value = VOp> {
-    prop_oneof![
-        3 => Just(VOp::Update),
-        3 => Just(VOp::Timeout),
-        1 => Just(VOp::Invalidate),
-    ]
+fn gen_vop(rng: &mut SimRng) -> VOp {
+    // Weighted 3:3:1 like the original proptest strategy.
+    match rng.gen_range(7) {
+        0..=2 => VOp::Update,
+        3..=5 => VOp::Timeout,
+        _ => VOp::Invalidate,
+    }
 }
 
 /// Reference model of Figure 5(b), written independently of the
@@ -36,9 +37,12 @@ fn reference(ops: &[VOp]) -> u8 {
     v as u8
 }
 
-proptest! {
-    #[test]
-    fn validity_counter_matches_reference(ops in proptest::collection::vec(arb_vop(), 0..64)) {
+#[test]
+fn validity_counter_matches_reference() {
+    let mut rng = SimRng::new(0x5eed_0003);
+    for case in 0..256 {
+        let len = rng.gen_range(64) as usize;
+        let ops: Vec<VOp> = (0..len).map(|_| gen_vop(&mut rng)).collect();
         let mut c = ValidityCounter::new();
         for op in &ops {
             match op {
@@ -47,18 +51,25 @@ proptest! {
                 VOp::Invalidate => c.invalidate(),
             }
         }
-        prop_assert_eq!(c.value(), reference(&ops));
-        prop_assert_eq!(c.is_valid(), reference(&ops) >= 2);
+        assert_eq!(c.value(), reference(&ops), "case {case}: {ops:?}");
+        assert_eq!(c.is_valid(), reference(&ops) >= 2, "case {case}");
     }
+}
 
-    /// The UD computation returns exactly the brute-force argmin of valid
-    /// priorities (oldest timestamp, node id tie-break).
-    #[test]
-    fn ud_pointer_is_brute_force_argmin(
-        updates in proptest::collection::vec((0u16..16, 1u64..1000), 0..64),
-        timeouts_after in proptest::collection::vec(any::<bool>(), 0..64),
-        candidates in proptest::collection::vec(0u16..16, 1..16),
-    ) {
+/// The UD computation returns exactly the brute-force argmin of valid
+/// priorities (oldest timestamp, node id tie-break).
+#[test]
+fn ud_pointer_is_brute_force_argmin() {
+    let mut rng = SimRng::new(0x5eed_0004);
+    for case in 0..256 {
+        let n_updates = rng.gen_range(64) as usize;
+        let updates: Vec<(u16, u64)> = (0..n_updates)
+            .map(|_| (rng.gen_range(16) as u16, 1 + rng.gen_range(999)))
+            .collect();
+        let timeouts_after: Vec<bool> = (0..n_updates).map(|_| rng.gen_bool(0.5)).collect();
+        let n_cands = 1 + rng.gen_range(15) as usize;
+        let candidates: Vec<u16> = (0..n_cands).map(|_| rng.gen_range(16) as u16).collect();
+
         let mut pb = PBuffer::new(16);
         // Mirror of entry state: (priority, validity) maintained naively.
         let mut mirror: Vec<(Option<u64>, u8)> = vec![(None, 0); 16];
@@ -83,15 +94,18 @@ proptest! {
             .min()
             .map(|(ts, n)| (NodeId(n), Timestamp(ts)));
         let got = pb.highest_priority_among(candidates.iter().map(|&n| NodeId(n)));
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Formula (1) keeps the estimate inside the observed sample range and
-    /// converges geometrically onto a constant input.
-    #[test]
-    fn txlb_estimate_bounded_and_convergent(
-        samples in proptest::collection::vec(1u64..100_000, 1..40),
-    ) {
+/// Formula (1) keeps the estimate inside the observed sample range and
+/// converges geometrically onto a constant input.
+#[test]
+fn txlb_estimate_bounded_and_convergent() {
+    let mut rng = SimRng::new(0x5eed_0005);
+    for case in 0..256 {
+        let len = 1 + rng.gen_range(39) as usize;
+        let samples: Vec<u64> = (0..len).map(|_| 1 + rng.gen_range(99_999)).collect();
         let mut txlb = TxLengthBuffer::new(4);
         for &s in &samples {
             txlb.record_commit(StaticTxId(0), s);
@@ -99,7 +113,10 @@ proptest! {
         let est = txlb.estimate(StaticTxId(0)).unwrap();
         let lo = *samples.iter().min().unwrap();
         let hi = *samples.iter().max().unwrap();
-        prop_assert!(est >= lo.saturating_sub(1) && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+        assert!(
+            est >= lo.saturating_sub(1) && est <= hi,
+            "case {case}: estimate {est} outside [{lo}, {hi}]"
+        );
 
         // Convergence: feed a constant; within 20 updates the estimate
         // settles within 1 of it (integer halving).
@@ -109,6 +126,9 @@ proptest! {
             t2.record_commit(StaticTxId(1), 500);
         }
         let settled = t2.estimate(StaticTxId(1)).unwrap();
-        prop_assert!(settled >= 499 && settled <= 500, "settled at {settled}");
+        assert!(
+            (499..=500).contains(&settled),
+            "case {case}: settled at {settled}"
+        );
     }
 }

@@ -16,7 +16,7 @@ fn main() {
 
     println!("== Table I check (baseline abort rates) ==");
     for row in table1_rows() {
-        let m = puno_harness::sweep::find(&results, row.workload, Mechanism::Baseline);
+        let m = puno_harness::sweep::find_expect(&results, row.workload, Mechanism::Baseline);
         let rate = m.htm.abort_rate() * 100.0;
         let (lo, hi) = row.expected_abort_band;
         let ok = rate >= lo && rate <= hi;
@@ -32,7 +32,7 @@ fn main() {
     }
     println!("\n== Figure 2: false-aborting fraction of TxGETX (baseline) ==");
     for &w in &WorkloadId::ALL {
-        let m = puno_harness::sweep::find(&results, w, Mechanism::Baseline);
+        let m = puno_harness::sweep::find_expect(&results, w, Mechanism::Baseline);
         println!(
             "{:<10} {:>5.1}%  (victims/episode mean {:.2})",
             w.name(),

@@ -26,9 +26,16 @@ pub struct SystemConfig {
     pub signatures: Option<puno_htm::SignatureConfig>,
     /// Commit pipeline drain cost.
     pub commit_latency: u64,
-    /// Safety valve: a run exceeding this many cycles panics with
-    /// diagnostics (a protocol livelock, not a slow workload).
+    /// Safety valve: a run exceeding this many cycles fails with a
+    /// [`crate::error::RunError::Livelock`] (a protocol livelock, not a
+    /// slow workload).
     pub max_cycles: u64,
+    /// Forward-progress watchdog: every this-many cycles the run loop
+    /// samples system-wide commits + retired nodes; a window with no change
+    /// fails the run with a `Livelock` error and a NACK wait-for dump long
+    /// before `max_cycles` burns down. Must comfortably exceed the longest
+    /// legitimate commit-to-commit gap.
+    pub watchdog_window: u64,
 }
 
 impl SystemConfig {
@@ -55,6 +62,7 @@ impl SystemConfig {
             signatures: None,
             commit_latency: 5,
             max_cycles: 200_000_000,
+            watchdog_window: 25_000_000,
         }
     }
 

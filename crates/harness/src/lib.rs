@@ -8,6 +8,7 @@
 //! report formatting that regenerates the paper's tables and figures.
 
 pub mod config;
+pub mod error;
 pub mod invariants;
 pub mod mechanism;
 pub mod memory;
@@ -21,10 +22,11 @@ pub mod sweep;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use error::RunError;
 pub use mechanism::Mechanism;
 pub use memory::MemoryImage;
 pub use metrics::RunMetrics;
 pub use oracle::FalseAbortOracle;
-pub use run::run_workload;
+pub use run::{run_workload, run_workload_with_faults, try_run_workload};
 pub use sweep::{sweep, SweepResult};
 pub use system::System;

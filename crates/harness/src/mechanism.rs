@@ -57,9 +57,15 @@ mod tests {
     #[test]
     fn mechanism_wiring_matches_paper() {
         assert_eq!(Mechanism::Baseline.backoff_kind(), BackoffKind::Fixed);
-        assert_eq!(Mechanism::RandomBackoff.backoff_kind(), BackoffKind::RandomLinear);
+        assert_eq!(
+            Mechanism::RandomBackoff.backoff_kind(),
+            BackoffKind::RandomLinear
+        );
         assert_eq!(Mechanism::RmwPred.backoff_kind(), BackoffKind::Fixed);
-        assert_eq!(Mechanism::Puno.backoff_kind(), BackoffKind::NotificationGuided);
+        assert_eq!(
+            Mechanism::Puno.backoff_kind(),
+            BackoffKind::NotificationGuided
+        );
         assert!(Mechanism::RmwPred.uses_rmw_predictor());
         assert!(!Mechanism::Puno.uses_rmw_predictor());
         assert!(Mechanism::Puno.uses_puno());

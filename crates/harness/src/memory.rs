@@ -66,8 +66,14 @@ mod tests {
         m.write(LineAddr(1), 5);
         // tx: 5 -> 6 -> 7, logged oldest-first, rolled back newest-first.
         let log = vec![
-            LogEntry { addr: LineAddr(1), old_value: 6 },
-            LogEntry { addr: LineAddr(1), old_value: 5 },
+            LogEntry {
+                addr: LineAddr(1),
+                old_value: 6,
+            },
+            LogEntry {
+                addr: LineAddr(1),
+                old_value: 5,
+            },
         ];
         m.write(LineAddr(1), 7);
         m.rollback(log);

@@ -6,6 +6,7 @@ use puno_coherence::DirStats;
 use puno_core::PunoStats;
 use puno_htm::HtmStats;
 use puno_noc::TrafficStats;
+use puno_sim::FaultStats;
 use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -31,6 +32,8 @@ pub struct RunMetrics {
     /// PUNO predictor statistics (prediction accuracy; zeroed for other
     /// mechanisms).
     pub puno: PunoStats,
+    /// Faults actually injected during the run (all-zero without a plan).
+    pub faults: FaultStats,
     /// Committed transactions (sanity: nodes x tx_per_node).
     pub committed: u64,
 }
@@ -48,6 +51,7 @@ impl RunMetrics {
         link_skew: f64,
         oracle: FalseAbortOracle,
         puno: PunoStats,
+        faults: FaultStats,
     ) -> Self {
         let committed = htm.commits.get();
         Self {
@@ -63,6 +67,7 @@ impl RunMetrics {
             traffic_link_skew: link_skew,
             oracle,
             puno,
+            faults,
             committed,
         }
     }
@@ -104,6 +109,7 @@ mod tests {
             1.0,
             FalseAbortOracle::default(),
             PunoStats::default(),
+            FaultStats::default(),
         );
         assert_eq!(m.committed, 2);
         assert!((m.aborts_per_commit() - 0.5).abs() < 1e-12);

@@ -33,6 +33,9 @@ pub struct Effects {
     pub oracle_episode: Option<(bool, u64)>,
     /// The node just finished its program.
     pub finished: bool,
+    /// An armed spurious-NACK fault actually fired on this forward (the
+    /// system keeps the per-kind fault accounting).
+    pub injected_nack: bool,
 }
 
 impl Effects {
@@ -130,6 +133,12 @@ pub struct NodeState {
     /// The line whose NACKed request this node is currently backing off
     /// on (a WakeupHint for it ends the backoff early).
     waiting_retry: Option<LineAddr>,
+    /// Who nacked this node's last failed episode (wait-for diagnostics;
+    /// meaningful while `waiting_retry` is set).
+    last_nackers: SharerSet,
+    /// One-shot fault injection: answer the next eligible forward with a
+    /// spurious NACK instead of complying.
+    force_nack_once: bool,
 }
 
 impl NodeState {
@@ -169,7 +178,39 @@ impl NodeState {
             wakeup_hints: false,
             pending_wakeups: Vec::new(),
             waiting_retry: None,
+            last_nackers: SharerSet::EMPTY,
+            force_nack_once: false,
         }
+    }
+
+    /// Fault injection: the next forward that this node would comply with
+    /// is answered with a spurious NACK instead. The flag is consumed by
+    /// the next forward delivery whether or not it ends up applying (a
+    /// forward that would be nacked anyway absorbs it).
+    pub fn arm_spurious_nack(&mut self) {
+        self.force_nack_once = true;
+    }
+
+    /// The line this node is backing off on after a nacked episode.
+    pub fn waiting_on(&self) -> Option<LineAddr> {
+        self.waiting_retry
+    }
+
+    /// The nackers of the last failed episode (see [`Self::waiting_on`]).
+    pub fn last_nackers(&self) -> SharerSet {
+        self.last_nackers
+    }
+
+    /// Fault injection: abort the running transaction as if a conflict had
+    /// been detected. Returns whether a transaction was actually aborted
+    /// (idle nodes and committed transactions absorb the fault).
+    pub fn force_abort(&mut self, now: Cycle, memory: &mut MemoryImage) -> (bool, Effects) {
+        let mut eff = Effects::default();
+        if self.htm.current().is_none() {
+            return (false, eff);
+        }
+        self.abort_current_tx(now, AbortCause::Injected, memory, &mut eff);
+        (true, eff)
     }
 
     /// Enable the §VI wake-up-hint extension (see `PunoConfig::wakeup_hints`).
@@ -216,9 +257,17 @@ impl NodeState {
                 self.pc += 1;
                 Effects::default().wake(now + c)
             }
-            WorkItem::Access { addr, is_write } => {
-                self.access(now, addr, is_write, false, OpSite { static_tx: u32::MAX, op_index: 0 }, memory)
-            }
+            WorkItem::Access { addr, is_write } => self.access(
+                now,
+                addr,
+                is_write,
+                false,
+                OpSite {
+                    static_tx: u32::MAX,
+                    op_index: 0,
+                },
+                memory,
+            ),
             WorkItem::Transaction(spec) => self.step_transaction(now, &spec, memory),
         }
     }
@@ -297,7 +346,9 @@ impl NodeState {
             LookupOutcome::Hit(state) => {
                 self.complete_access_locally(now, addr, sem_write, is_tx, site, state, memory)
             }
-            LookupOutcome::UpgradeNeeded => self.issue_request(now, addr, true, sem_write, is_tx, site),
+            LookupOutcome::UpgradeNeeded => {
+                self.issue_request(now, addr, true, sem_write, is_tx, site)
+            }
             LookupOutcome::Miss => {
                 let predicted_rmw = is_tx && !sem_write && self.htm.load_wants_exclusive(site);
                 // Re-reading a line this transaction already *wrote* (it was
@@ -418,7 +469,12 @@ impl NodeState {
     /// ------------------------------------------------------------------
     /// Forwarded requests from the directory (Inv / FwdGets / FwdGetx).
     /// ------------------------------------------------------------------
-    pub fn on_forward(&mut self, now: Cycle, msg: &CoherenceMsg, memory: &mut MemoryImage) -> Effects {
+    pub fn on_forward(
+        &mut self,
+        now: Cycle,
+        msg: &CoherenceMsg,
+        memory: &mut MemoryImage,
+    ) -> Effects {
         let (addr, requester, tx, kind, unicast) = match msg {
             CoherenceMsg::Inv {
                 addr,
@@ -432,12 +488,16 @@ impl NodeState {
                 tx,
                 unicast,
             } => (*addr, *requester, *tx, IncomingKind::Write, *unicast),
-            CoherenceMsg::FwdGets { addr, requester, tx } => {
-                (*addr, *requester, *tx, IncomingKind::Read, false)
-            }
+            CoherenceMsg::FwdGets {
+                addr,
+                requester,
+                tx,
+            } => (*addr, *requester, *tx, IncomingKind::Read, false),
             other => panic!("on_forward: not a forward: {other:?}"),
         };
         let req_ts = tx.map(|t| t.timestamp);
+        let force_nack = std::mem::take(&mut self.force_nack_once);
+        let mut eff = Effects::default();
         // A sticky-owned line re-requested by this very node arrives back
         // as a self-forward (the directory still names us owner after an
         // overflow writeback). Serving our own request is never a
@@ -445,10 +505,18 @@ impl NodeState {
         let decision = if requester == self.id {
             ForwardDecision::Comply
         } else {
-            self.htm.respond_forward(addr, kind, req_ts, unicast)
+            let real = self.htm.respond_forward(addr, kind, req_ts, unicast);
+            // A spurious-NACK fault downgrades a would-be Comply to a plain
+            // NACK — the conservative refusal the protocol already handles
+            // (cf. a mispredicted unicast probe). Decisions that nack or
+            // abort anyway absorb the fault unchanged.
+            if force_nack && matches!(real, ForwardDecision::Comply) {
+                eff.injected_nack = true;
+                ForwardDecision::Nack { mispredict: false }
+            } else {
+                real
+            }
         };
-
-        let mut eff = Effects::default();
         match decision {
             ForwardDecision::Nack { mispredict } => {
                 // Only the receiver of a *unicast* request notifies the
@@ -606,7 +674,7 @@ impl NodeState {
         let delay = out.penalty + backoff;
         self.op_idx = 0;
         self.epoch += 1; // cancel any in-flight wake (e.g. a pending nack retry)
-        // A late WakeupHint must not short-circuit abort recovery.
+                         // A late WakeupHint must not short-circuit abort recovery.
         self.waiting_retry = None;
         if let Some(mshr) = self.mshr.as_mut() {
             // Our own request is still in flight; the episode must conclude
@@ -622,7 +690,12 @@ impl NodeState {
     /// ------------------------------------------------------------------
     /// Responses to our outstanding request.
     /// ------------------------------------------------------------------
-    pub fn on_response(&mut self, now: Cycle, msg: &CoherenceMsg, memory: &mut MemoryImage) -> Effects {
+    pub fn on_response(
+        &mut self,
+        now: Cycle,
+        msg: &CoherenceMsg,
+        memory: &mut MemoryImage,
+    ) -> Effects {
         if let CoherenceMsg::WbAck { addr } = msg {
             match self.wb_buffer.get_mut(addr) {
                 Some(count) if *count > 1 => *count -= 1,
@@ -714,7 +787,9 @@ impl NodeState {
         // previous owner kept a shared copy (encoded in the nackers mask —
         // see DirectoryBank::on_unblock). On failure, report the nackers.
         let unblock_mask = if success {
-            mshr.owner_kept_by.map(SharerSet::single).unwrap_or(SharerSet::EMPTY)
+            mshr.owner_kept_by
+                .map(SharerSet::single)
+                .unwrap_or(SharerSet::EMPTY)
         } else {
             mshr.nackers
         };
@@ -736,6 +811,7 @@ impl NodeState {
         }
 
         if success {
+            self.last_nackers = SharerSet::EMPTY;
             // Install the line.
             let state = if mshr.is_getx {
                 LineState::Modified
@@ -786,6 +862,7 @@ impl NodeState {
                 stats.backoff_cycles.add(bo);
                 self.phase = Phase::Ready;
                 self.waiting_retry = Some(mshr.addr);
+                self.last_nackers = mshr.nackers;
                 eff.wake_at = Some(now + bo);
             }
         }
@@ -1017,7 +1094,7 @@ mod tests {
         let mut mem = MemoryImage::new();
         n.step(0, &mut mem);
         n.step(1, &mut mem); // GETX out
-        // Data grant with 1 invalidation expected, then a NACK.
+                             // Data grant with 1 invalidation expected, then a NACK.
         n.on_response(
             30,
             &CoherenceMsg::Data {
@@ -1095,10 +1172,7 @@ mod tests {
 
     #[test]
     fn forward_invalidation_aborts_younger_reader() {
-        let mut n = node_with(vec![tx(vec![
-            TxOp::Read(LineAddr(6)),
-            TxOp::Think(100),
-        ])]);
+        let mut n = node_with(vec![tx(vec![TxOp::Read(LineAddr(6)), TxOp::Think(100)])]);
         let mut mem = MemoryImage::new();
         n.step(0, &mut mem); // begin at cycle 0 -> ts = 0*4+1 = 1
         n.l1.fill(LineAddr(6), LineState::Shared).unwrap();
@@ -1139,10 +1213,7 @@ mod tests {
 
     #[test]
     fn older_reader_nacks_younger_writer() {
-        let mut n = node_with(vec![tx(vec![
-            TxOp::Read(LineAddr(6)),
-            TxOp::Think(100),
-        ])]);
+        let mut n = node_with(vec![tx(vec![TxOp::Read(LineAddr(6)), TxOp::Think(100)])]);
         let mut mem = MemoryImage::new();
         n.step(0, &mut mem);
         n.l1.fill(LineAddr(6), LineState::Shared).unwrap();
@@ -1176,9 +1247,7 @@ mod tests {
 
     #[test]
     fn unicast_nack_carries_notification_once_txlb_trained() {
-        let mut n = node_with(vec![
-            tx(vec![TxOp::Read(LineAddr(6)), TxOp::Think(400)]),
-        ]);
+        let mut n = node_with(vec![tx(vec![TxOp::Read(LineAddr(6)), TxOp::Think(400)])]);
         // Train the TxLB: static tx 0 averages 1000 cycles.
         n.txlb.record_commit(StaticTxId(0), 1000);
         let mut mem = MemoryImage::new();
@@ -1218,10 +1287,7 @@ mod tests {
 
     #[test]
     fn mispredicted_unicast_sets_mp_bit_and_keeps_tx() {
-        let mut n = node_with(vec![tx(vec![
-            TxOp::Read(LineAddr(6)),
-            TxOp::Think(100),
-        ])]);
+        let mut n = node_with(vec![tx(vec![TxOp::Read(LineAddr(6)), TxOp::Think(100)])]);
         let mut mem = MemoryImage::new();
         n.step(0, &mut mem); // ts = 1
         n.l1.fill(LineAddr(6), LineState::Shared).unwrap();
@@ -1297,10 +1363,10 @@ mod tests {
             },
             &mut mem,
         );
-        assert!(eff.sends.iter().any(|(_, m)| matches!(
-            m,
-            CoherenceMsg::Unblock { success: true, .. }
-        )));
+        assert!(eff
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m, CoherenceMsg::Unblock { success: true, .. })));
         assert!(eff.wake_at.is_some());
         assert_eq!(mem.read(LineAddr(9)), 0, "abandoned op must not write");
         assert_eq!(n.l1.state(LineAddr(9)), Some(LineState::Modified));
@@ -1308,7 +1374,7 @@ mod tests {
     }
 
     #[test]
-    fn dirty_eviction_issues_putx_and_wbAck_clears() {
+    fn dirty_eviction_issues_putx_and_wb_ack_clears() {
         let mut n = node_with(vec![]);
         let mut mem = MemoryImage::new();
         // Fill set 0 (addrs 0 and 8 with sets=8... addr%8: use 0 and 8).
@@ -1319,10 +1385,7 @@ mod tests {
         let mut eff = Effects::default();
         let ev = n.l1.fill(LineAddr(16), LineState::Shared).unwrap();
         n.handle_eviction(ev, &mut eff);
-        assert!(matches!(
-            eff.sends[0].1,
-            CoherenceMsg::Putx { .. }
-        ));
+        assert!(matches!(eff.sends[0].1, CoherenceMsg::Putx { .. }));
         assert!(n.wb_buffer.contains_key(&LineAddr(0)));
         n.on_response(5, &CoherenceMsg::WbAck { addr: LineAddr(0) }, &mut mem);
         assert!(n.wb_buffer.is_empty());
@@ -1335,7 +1398,11 @@ mod tests {
             id,
             4,
             L1Cache::new(L1Config { sets: 8, ways: 2 }),
-            HtmUnit::new(id, AbortTiming::default(), Some(puno_htm::RmwPredictor::new(8))),
+            HtmUnit::new(
+                id,
+                AbortTiming::default(),
+                Some(puno_htm::RmwPredictor::new(8)),
+            ),
             TxLengthBuffer::new(8),
             BackoffEngine::new(BackoffKind::Fixed, BackoffConfig::default(), SimRng::new(1)),
             NodeProgram {
@@ -1354,7 +1421,7 @@ mod tests {
         n.step(1, &mut mem); // read hit
         n.step(2, &mut mem); // write hit (E->M) -> trains RMW
         n.step(3, &mut mem); // commit
-        // Second transaction: the load at the same site now predicts RMW.
+                             // Second transaction: the load at the same site now predicts RMW.
         n.l1.invalidate(LineAddr(6));
         n.step(10, &mut mem); // begin
         let eff = n.step(11, &mut mem); // read miss

@@ -2,7 +2,7 @@
 //! figures, plus geometric-mean summaries.
 
 use crate::mechanism::Mechanism;
-use crate::sweep::{find, SweepResult};
+use crate::sweep::{find_expect, SweepResult};
 use puno_workloads::WorkloadId;
 
 /// The metric a figure plots, extracted from a run.
@@ -68,11 +68,11 @@ impl NormalizedFigure {
     ) -> Self {
         let mut values = Vec::new();
         for &w in workloads {
-            let base = metric.extract(find(results, w, Mechanism::Baseline));
+            let base = metric.extract(find_expect(results, w, Mechanism::Baseline));
             let row: Vec<f64> = mechanisms
                 .iter()
                 .map(|&m| {
-                    let v = metric.extract(find(results, w, m));
+                    let v = metric.extract(find_expect(results, w, m));
                     if base == 0.0 || !base.is_finite() {
                         // Degenerate baseline (e.g. zero aborts): report the
                         // ratio as 1.0 when the value matches, else raw.
@@ -165,10 +165,7 @@ impl NormalizedFigure {
             .iter()
             .enumerate()
             .filter(|(i, w)| {
-                subset.contains(w)
-                    && self.values[*i]
-                        .iter()
-                        .all(|v| v.is_finite() && *v > 0.0)
+                subset.contains(w) && self.values[*i].iter().all(|v| v.is_finite() && *v > 0.0)
             })
             .map(|(i, _)| self.values[i][mi])
             .collect();
@@ -252,6 +249,7 @@ mod tests {
                 1.0,
                 FalseAbortOracle::default(),
                 PunoStats::default(),
+                puno_sim::FaultStats::default(),
             ),
         }
     }

@@ -1,15 +1,42 @@
 //! Single-experiment entry point.
 
 use crate::config::SystemConfig;
+use crate::error::RunError;
 use crate::mechanism::Mechanism;
 use crate::metrics::RunMetrics;
 use crate::system::System;
+use puno_sim::FaultPlan;
 use puno_workloads::WorkloadParams;
 
 /// Run `params` under `mechanism` on the paper's Table II system.
 pub fn run_workload(mechanism: Mechanism, params: &WorkloadParams, seed: u64) -> RunMetrics {
     let config = SystemConfig::paper(mechanism);
     System::new(config, params, seed).run()
+}
+
+/// Like [`run_workload`] but reporting deadlock/livelock as a structured
+/// [`RunError`] instead of panicking.
+pub fn try_run_workload(
+    mechanism: Mechanism,
+    params: &WorkloadParams,
+    seed: u64,
+) -> Result<RunMetrics, RunError> {
+    let config = SystemConfig::paper(mechanism);
+    System::new(config, params, seed).try_run()
+}
+
+/// Run on the paper system with `plan` installed, reporting failures as
+/// structured [`RunError`]s. Fault counts land in `RunMetrics::faults`.
+pub fn run_workload_with_faults(
+    mechanism: Mechanism,
+    params: &WorkloadParams,
+    seed: u64,
+    plan: FaultPlan,
+) -> Result<RunMetrics, RunError> {
+    let config = SystemConfig::paper(mechanism);
+    let mut sys = System::new(config, params, seed);
+    sys.set_fault_plan(plan);
+    sys.try_run()
 }
 
 /// Run with a custom configuration (ablations, sensitivity sweeps).

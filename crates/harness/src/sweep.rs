@@ -1,14 +1,26 @@
-//! Thread-parallel experiment sweeps.
+//! Thread-parallel experiment sweeps with failure containment and resume.
 //!
-//! Each simulation run is single-threaded and deterministic; the sweep
-//! fans (workload x mechanism x seed) combinations across OS threads via
-//! `crossbeam::scope` and reassembles results in a deterministic order.
+//! Each simulation run is single-threaded and deterministic; the sweep fans
+//! (workload x mechanism) combinations across OS threads and reassembles
+//! results in a deterministic order. A failing cell — structured
+//! [`RunError`] or outright panic — no longer takes the process (and every
+//! sibling cell) down: it is caught, optionally retried with the message
+//! trace ring enabled, and reported as a [`CellOutcome::Err`] while the
+//! remaining cells complete. With a checkpoint path set, finished cells are
+//! appended to a JSONL file as they complete, and a re-run resumes from it,
+//! skipping cells that already succeeded.
 
+use crate::error::RunError;
 use crate::metrics::RunMetrics;
-use crate::run::run_workload;
-use crate::Mechanism;
-use parking_lot::Mutex;
+use crate::system::System;
+use crate::{Mechanism, SystemConfig};
+use puno_sim::FaultPlan;
 use puno_workloads::{WorkloadId, WorkloadParams};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// One sweep cell: the workload, the mechanism, and the run result.
 #[derive(Clone, Debug)]
@@ -18,61 +30,293 @@ pub struct SweepResult {
     pub metrics: RunMetrics,
 }
 
-/// Run `workloads x mechanisms` (single seed) in parallel. `scale` shrinks
-/// or grows each workload's transaction count (1.0 = paper-sized runs).
+/// Identity of one (workload, mechanism, seed) sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellKey {
+    pub workload: WorkloadId,
+    pub mechanism: Mechanism,
+    pub seed: u64,
+}
+
+/// The checkpointed outcome of one cell (one JSONL record per cell). A
+/// hand-rolled `Result`: the serde shim has no blanket `Result` impl (and
+/// no `Box` impl either, hence the unboxed — large — `Ok` variant).
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CellOutcome {
+    Ok {
+        key: CellKey,
+        metrics: RunMetrics,
+    },
+    Err {
+        key: CellKey,
+        error: RunError,
+        /// Total attempts made (1 + retries actually used).
+        attempts: u32,
+    },
+}
+
+impl CellOutcome {
+    pub fn key(&self) -> CellKey {
+        match self {
+            CellOutcome::Ok { key, .. } | CellOutcome::Err { key, .. } => *key,
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok { .. })
+    }
+
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        match self {
+            CellOutcome::Ok { metrics, .. } => Some(metrics),
+            CellOutcome::Err { .. } => None,
+        }
+    }
+
+    pub fn error(&self) -> Option<&RunError> {
+        match self {
+            CellOutcome::Ok { .. } => None,
+            CellOutcome::Err { error, .. } => Some(error),
+        }
+    }
+}
+
+/// Options for a resilient sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    pub seed: u64,
+    /// Shrinks or grows each workload's transaction count (1.0 = paper-sized
+    /// runs).
+    pub scale: f64,
+    /// Fault plan installed in every cell (empty = fault-free and
+    /// bit-identical to a plain sweep).
+    pub fault_plan: FaultPlan,
+    /// Extra attempts after a failed cell. Retries re-run with the message
+    /// trace ring enabled, so a persistent failure's final error carries
+    /// the trace leading up to it.
+    pub retries: u32,
+    /// JSONL checkpoint path: finished cells are appended as they complete;
+    /// an existing file's successful cells are skipped on resume (failed
+    /// cells are re-attempted).
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    pub fn new(seed: u64, scale: f64) -> Self {
+        Self {
+            seed,
+            scale,
+            fault_plan: FaultPlan::none(),
+            retries: 0,
+            checkpoint: None,
+        }
+    }
+}
+
+/// Messages kept in the trace ring when a retry runs traced.
+const RETRY_TRACE_CAPACITY: usize = 512;
+
+/// Run `workloads x mechanisms` under `opts`, containing per-cell failures.
+/// Outcomes come back in deterministic (workload-major) order regardless of
+/// worker scheduling or resume state.
+pub fn try_sweep(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    opts: &SweepOptions,
+) -> Vec<CellOutcome> {
+    try_sweep_with(
+        workloads,
+        mechanisms,
+        opts,
+        |mechanism, params, seed, traced| {
+            let config = SystemConfig::paper(mechanism);
+            let mut sys = System::new(config, params, seed);
+            if traced {
+                sys.enable_trace(RETRY_TRACE_CAPACITY);
+            }
+            if !opts.fault_plan.is_empty() {
+                sys.set_fault_plan(opts.fault_plan.clone());
+            }
+            sys.try_run()
+        },
+    )
+}
+
+/// [`try_sweep`] parameterized over the per-cell runner — the containment,
+/// retry, and checkpoint machinery is identical, but tests (and custom
+/// harnesses) can substitute their own cell body. The runner's `traced`
+/// flag is false on the first attempt and true on retries.
+pub fn try_sweep_with<F>(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    opts: &SweepOptions,
+    runner: F,
+) -> Vec<CellOutcome>
+where
+    F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
+{
+    let cells: Vec<(CellKey, WorkloadParams)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            let params = w.params().scaled(opts.scale);
+            mechanisms.iter().map(move |&m| {
+                (
+                    CellKey {
+                        workload: w,
+                        mechanism: m,
+                        seed: opts.seed,
+                    },
+                    params.clone(),
+                )
+            })
+        })
+        .collect();
+
+    let resumed: Vec<CellOutcome> = opts
+        .checkpoint
+        .as_deref()
+        .map(load_checkpoint)
+        .unwrap_or_default();
+
+    // Slot per cell; resumed successes are filled in up front, the rest run.
+    let mut slots: Vec<Option<CellOutcome>> = cells
+        .iter()
+        .map(|(key, _)| {
+            resumed
+                .iter()
+                .find(|o| o.is_ok() && o.key() == *key)
+                .cloned()
+        })
+        .collect();
+    let jobs: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+
+    let checkpoint_file: Option<Mutex<std::fs::File>> = opts.checkpoint.as_deref().map(|path| {
+        Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open sweep checkpoint {path:?}: {e}")),
+        )
+    });
+
+    let done: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let i = jobs[j];
+                let (key, ref params) = cells[i];
+                let outcome = run_cell(&runner, key, params, opts.retries);
+                if let Some(file) = &checkpoint_file {
+                    let line =
+                        serde_json::to_string(&outcome).expect("sweep cell outcome must serialize");
+                    let mut f = file.lock().unwrap();
+                    let _ = writeln!(f, "{line}");
+                }
+                done.lock().unwrap().push((i, outcome));
+            });
+        }
+    });
+
+    for (i, outcome) in done.into_inner().unwrap() {
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep cell resolved"))
+        .collect()
+}
+
+/// Run one cell with panic containment and bounded retries.
+fn run_cell<F>(runner: &F, key: CellKey, params: &WorkloadParams, retries: u32) -> CellOutcome
+where
+    F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
+{
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let traced = attempts > 1;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            runner(key.mechanism, params, key.seed, traced)
+        }));
+        let error = match result {
+            Ok(Ok(metrics)) => return CellOutcome::Ok { key, metrics },
+            Ok(Err(error)) => error,
+            Err(payload) => RunError::WorkerPanic {
+                payload: panic_payload_string(payload),
+            },
+        };
+        if attempts > retries {
+            return CellOutcome::Err {
+                key,
+                error,
+                attempts,
+            };
+        }
+    }
+}
+
+fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// Parse a JSONL checkpoint, skipping unparsable (e.g. torn) lines.
+fn load_checkpoint(path: &Path) -> Vec<CellOutcome> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<CellOutcome>(l).ok())
+        .collect()
+}
+
+/// Run `workloads x mechanisms` (single seed) in parallel, panicking if any
+/// cell fails — the strict interface the report/figure generators build on.
 pub fn sweep(
     workloads: &[WorkloadId],
     mechanisms: &[Mechanism],
     seed: u64,
     scale: f64,
 ) -> Vec<SweepResult> {
-    let jobs: Vec<(WorkloadId, Mechanism, WorkloadParams)> = workloads
-        .iter()
-        .flat_map(|&w| {
-            let params = w.params().scaled(scale);
-            mechanisms
-                .iter()
-                .map(move |&m| (w, m, params.clone()))
+    let opts = SweepOptions::new(seed, scale);
+    try_sweep(workloads, mechanisms, &opts)
+        .into_iter()
+        .map(|outcome| match outcome {
+            CellOutcome::Ok { key, metrics } => SweepResult {
+                workload: key.workload,
+                mechanism: key.mechanism,
+                metrics,
+            },
+            CellOutcome::Err { key, error, .. } => {
+                panic!(
+                    "sweep cell {:?}/{:?} @ seed {} failed: {error}",
+                    key.workload, key.mechanism, key.seed
+                )
+            }
         })
-        .collect();
-
-    let results: Mutex<Vec<(usize, SweepResult)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (w, m, ref params) = jobs[i];
-                let metrics = run_workload(m, params, seed);
-                results.lock().push((
-                    i,
-                    SweepResult {
-                        workload: w,
-                        mechanism: m,
-                        metrics,
-                    },
-                ));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let mut out = results.into_inner();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+        .collect()
 }
 
-/// Run the sweep for several seeds (one full sweep per seed, all cells
-/// parallelized together would interleave seeds nondeterministically in the
-/// worker order, but results are keyed, so we simply run per-seed sweeps).
+/// Run the sweep for several seeds (one full sweep per seed; results stay
+/// keyed and deterministic).
 pub fn sweep_seeds(
     workloads: &[WorkloadId],
     mechanisms: &[Mechanism],
@@ -90,17 +334,28 @@ pub fn find(
     results: &[SweepResult],
     workload: WorkloadId,
     mechanism: Mechanism,
-) -> &RunMetrics {
-    &results
+) -> Option<&RunMetrics> {
+    results
         .iter()
         .find(|r| r.workload == workload && r.mechanism == mechanism)
+        .map(|r| &r.metrics)
+}
+
+/// [`find`], panicking with the missing key when the cell is absent — for
+/// report/figure generators that have already validated the sweep grid.
+pub fn find_expect(
+    results: &[SweepResult],
+    workload: WorkloadId,
+    mechanism: Mechanism,
+) -> &RunMetrics {
+    find(results, workload, mechanism)
         .unwrap_or_else(|| panic!("missing cell {workload:?}/{mechanism:?}"))
-        .metrics
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::run_workload;
 
     #[test]
     fn sweep_returns_all_cells_in_order() {
@@ -112,7 +367,7 @@ mod tests {
         assert_eq!(results[0].mechanism, Mechanism::Baseline);
         assert_eq!(results[3].workload, WorkloadId::Kmeans);
         assert_eq!(results[3].mechanism, Mechanism::Puno);
-        let m = find(&results, WorkloadId::Kmeans, Mechanism::Puno);
+        let m = find_expect(&results, WorkloadId::Kmeans, Mechanism::Puno);
         assert!(m.committed > 0);
     }
 
@@ -125,9 +380,141 @@ mod tests {
             7,
         );
         assert_eq!(results[0].metrics.cycles, serial.cycles);
-        assert_eq!(
-            results[0].metrics.htm.aborts.get(),
-            serial.htm.aborts.get()
+        assert_eq!(results[0].metrics.htm.aborts.get(), serial.htm.aborts.get());
+    }
+
+    #[test]
+    fn find_returns_none_for_missing_cell() {
+        let results = sweep(&[WorkloadId::Ssca2], &[Mechanism::Baseline], 1, 0.05);
+        assert!(find(&results, WorkloadId::Ssca2, Mechanism::Puno).is_none());
+        assert!(find(&results, WorkloadId::Ssca2, Mechanism::Baseline).is_some());
+    }
+
+    /// A runner that panics on exactly one cell: the others must still
+    /// complete and the failure must surface as a structured outcome.
+    #[test]
+    fn one_panicking_cell_does_not_sink_the_sweep() {
+        let workloads = [WorkloadId::Ssca2, WorkloadId::Kmeans];
+        let mechanisms = [Mechanism::Baseline];
+        let opts = SweepOptions::new(3, 0.05);
+        let outcomes = try_sweep_with(&workloads, &mechanisms, &opts, |m, params, seed, _| {
+            if params.name.contains("kmeans") {
+                panic!("injected cell failure");
+            }
+            Ok(crate::run::run_workload(m, params, seed))
+        });
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_ok(), "healthy cell must complete");
+        let err = outcomes[1].error().expect("kmeans cell must fail");
+        assert_eq!(err.kind(), "worker_panic");
+        assert!(err.to_string().contains("injected cell failure"));
+    }
+
+    /// Retries re-run the cell; a first-attempt-only failure recovers.
+    #[test]
+    fn retry_recovers_a_transient_failure() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let attempts = AtomicU32::new(0);
+        let mut opts = SweepOptions::new(3, 0.05);
+        opts.retries = 1;
+        let outcomes = try_sweep_with(
+            &[WorkloadId::Ssca2],
+            &[Mechanism::Baseline],
+            &opts,
+            |m, params, seed, traced| {
+                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    assert!(!traced, "first attempt runs untraced");
+                    panic!("transient");
+                }
+                assert!(traced, "retry must run traced");
+                Ok(crate::run::run_workload(m, params, seed))
+            },
         );
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        assert!(outcomes[0].is_ok());
+    }
+
+    /// A cell forced into a genuine livelock (hostile cycle budget) must
+    /// surface as a structured `RunError` whose retry captured a message
+    /// trace, while the sibling cell completes.
+    #[test]
+    fn forced_livelock_cell_reports_structured_error_with_trace() {
+        let workloads = [WorkloadId::Ssca2, WorkloadId::Kmeans];
+        let mechanisms = [Mechanism::Baseline];
+        let mut opts = SweepOptions::new(5, 0.05);
+        opts.retries = 1;
+        let outcomes = try_sweep_with(&workloads, &mechanisms, &opts, |m, params, seed, traced| {
+            let mut config = SystemConfig::paper(m);
+            if params.name.contains("kmeans") {
+                // Hostile budget: the watchdog window cannot see a commit.
+                config.watchdog_window = 50;
+            }
+            let mut sys = System::new(config, params, seed);
+            if traced {
+                sys.enable_trace(64);
+            }
+            sys.try_run()
+        });
+        assert!(outcomes[0].is_ok(), "healthy cell must complete");
+        let err = outcomes[1].error().expect("hostile cell must fail");
+        assert_eq!(err.kind(), "livelock");
+        assert!(
+            !err.trace().is_empty(),
+            "the traced retry must capture the message trace"
+        );
+        match outcomes[1] {
+            CellOutcome::Err { attempts, .. } => assert_eq!(attempts, 2),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Interrupted sweep: first pass checkpoints one success and one
+    /// failure; the resumed pass re-runs only the failed cell.
+    #[test]
+    fn checkpoint_resume_skips_completed_cells() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let dir = std::env::temp_dir().join(format!(
+            "puno-sweep-ckpt-{}-{}",
+            std::process::id(),
+            "resume"
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let workloads = [WorkloadId::Ssca2, WorkloadId::Kmeans];
+        let mechanisms = [Mechanism::Baseline];
+        let mut opts = SweepOptions::new(3, 0.05);
+        opts.checkpoint = Some(path.clone());
+
+        let first = try_sweep_with(&workloads, &mechanisms, &opts, |m, params, seed, _| {
+            if params.name.contains("kmeans") {
+                panic!("fails on the first pass");
+            }
+            Ok(crate::run::run_workload(m, params, seed))
+        });
+        assert!(first[0].is_ok());
+        assert!(!first[1].is_ok());
+
+        // Second pass: the healthy cell must NOT re-run (it would trip the
+        // counter), the failed one runs and now succeeds.
+        let reruns = AtomicU32::new(0);
+        let second = try_sweep_with(&workloads, &mechanisms, &opts, |m, params, seed, _| {
+            reruns.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                params.name.contains("kmeans"),
+                "resume re-ran an already-successful cell"
+            );
+            Ok(crate::run::run_workload(m, params, seed))
+        });
+        assert_eq!(reruns.load(Ordering::SeqCst), 1);
+        assert!(second[0].is_ok() && second[1].is_ok());
+        assert_eq!(
+            second[0].metrics().unwrap().workload,
+            WorkloadId::Ssca2.name()
+        );
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

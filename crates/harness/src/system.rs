@@ -1,6 +1,7 @@
 //! The assembled system and its deterministic event loop.
 
 use crate::config::SystemConfig;
+use crate::error::RunError;
 use crate::mechanism::Mechanism;
 use crate::memory::MemoryImage;
 use crate::metrics::RunMetrics;
@@ -16,7 +17,9 @@ use puno_htm::rmw::RmwPredictor;
 use puno_htm::unit::HtmUnit;
 use puno_htm::{BackoffEngine, HtmStats};
 use puno_noc::Network;
-use puno_sim::{Cycle, EventQueue, LineAddr, NodeId, SimRng};
+use puno_sim::{
+    Cycle, Cycles, EventQueue, FaultInjector, FaultKind, FaultPlan, LineAddr, NodeId, SimRng,
+};
 use puno_workloads::{generate_program, WorkloadParams};
 
 /// Simulation events.
@@ -35,6 +38,20 @@ enum Event {
     },
     /// Off-chip memory fetch finished at a home bank.
     MemReady { home: NodeId, addr: LineAddr },
+    /// A fault-jittered message whose extra delay has elapsed; injects
+    /// without re-probing the fault streams.
+    FaultedInject {
+        src: NodeId,
+        dst: NodeId,
+        msg: CoherenceMsg,
+    },
+    /// A fault fires (scheduled in the plan, or a rate-drawn forced abort
+    /// aimed mid-transaction).
+    Fault {
+        kind: FaultKind,
+        node: NodeId,
+        magnitude: Cycles,
+    },
 }
 
 /// Per-bank predictor: baseline banks never unicast; PUNO banks run the
@@ -108,6 +125,16 @@ pub struct System {
     nodes_done: usize,
     finish_cycle: Cycle,
     trace: puno_sim::TraceRing,
+    fault: FaultInjector,
+    /// Extra delay owed to each node's next injected message (accumulated
+    /// by scheduled `DelayJitter` fault events).
+    pending_jitter: Vec<Cycles>,
+    /// Cycle of the most recently popped event (failure diagnostics).
+    last_cycle: Cycle,
+    /// Forward-progress watchdog: next sampling cycle and the progress
+    /// marker (commits + retired nodes) captured at the previous sample.
+    watchdog_next: Cycle,
+    watchdog_last: u64,
 }
 
 impl System {
@@ -176,8 +203,36 @@ impl System {
             nodes_done: 0,
             finish_cycle: 0,
             trace: puno_sim::TraceRing::disabled(),
+            fault: FaultInjector::new(FaultPlan::none()),
+            pending_jitter: vec![0; nodes_n as usize],
+            last_cycle: 0,
+            watchdog_next: config.watchdog_window,
+            watchdog_last: 0,
             config,
         }
+    }
+
+    /// Install a fault plan. Scheduled events are enqueued immediately;
+    /// rate-based faults are probed at their hook points. An empty plan is
+    /// exactly equivalent to never calling this (no RNG is consulted and no
+    /// event is scheduled), so fault-free runs stay bit-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultInjector::new(plan);
+        for ev in self.fault.scheduled_events().to_vec() {
+            self.queue.schedule_at(
+                ev.at,
+                Event::Fault {
+                    kind: ev.kind,
+                    node: ev.node,
+                    magnitude: ev.magnitude,
+                },
+            );
+        }
+    }
+
+    /// Faults fired so far (testing/diagnostics).
+    pub fn fault_stats(&self) -> &puno_sim::FaultStats {
+        &self.fault.stats
     }
 
     /// Keep the last `capacity` delivered protocol messages for debugging;
@@ -208,18 +263,19 @@ impl System {
     pub fn run_checked(mut self, lines: &[LineAddr], every: u64) -> (RunMetrics, MemoryImage) {
         assert!(every > 0);
         let mut events = 0u64;
-        while self.nodes_done < self.nodes.len() {
-            let Some((now, event)) = self.queue.pop() else {
-                panic!("protocol deadlock");
-            };
-            assert!(now < self.config.max_cycles, "livelock guard");
-            self.dispatch_event(now, event);
+        loop {
+            match self.step_once() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => panic!("{e}"),
+            }
             events += 1;
             if events.is_multiple_of(every) {
                 let violations = self.check_invariants(lines);
                 assert!(
                     violations.is_empty(),
-                    "coherence invariants violated at cycle {now}: {violations:?}"
+                    "coherence invariants violated at cycle {}: {violations:?}",
+                    self.last_cycle
                 );
             }
         }
@@ -245,10 +301,48 @@ impl System {
                 );
                 self.apply_dir_actions(now, home, actions);
             }
+            Event::FaultedInject { src, dst, msg } => self.inject_now(now, src, dst, msg),
+            Event::Fault {
+                kind,
+                node,
+                magnitude,
+            } => self.on_fault(now, kind, node, magnitude),
+        }
+    }
+
+    /// Apply one fault at its scheduled firing point. All kinds are
+    /// abort-recoverable: messages are delayed or refused, never dropped,
+    /// and forced aborts reuse the ordinary abort/restart path.
+    fn on_fault(&mut self, now: Cycle, kind: FaultKind, node: NodeId, magnitude: Cycles) {
+        match kind {
+            FaultKind::DelayJitter => {
+                // Owed to the node's next injected message; recorded when
+                // consumed so the accounting matches messages affected.
+                self.pending_jitter[node.index()] += magnitude.max(1);
+            }
+            FaultKind::LinkStall => {
+                self.network.stall_links(now, node, magnitude.max(1));
+                self.fault.record_link_stall();
+            }
+            FaultKind::SpuriousNack => {
+                // One-shot: the node's next non-self forward that would
+                // have complied is refused instead.
+                self.nodes[node.index()].arm_spurious_nack();
+            }
+            FaultKind::ForcedAbort => {
+                let (fired, eff) = self.nodes[node.index()].force_abort(now, &mut self.memory);
+                if fired {
+                    self.fault.record_forced_abort();
+                }
+                self.apply_effects(now, node, eff);
+            }
         }
     }
 
     /// Run to completion and return the metrics.
+    ///
+    /// Panics on deadlock/livelock; prefer [`System::try_run`] where a
+    /// structured [`RunError`] is more useful (sweeps, fault injection).
     pub fn run(self) -> RunMetrics {
         self.run_full().0
     }
@@ -257,46 +351,142 @@ impl System {
     /// messages; returns the metrics and the rendered trace.
     pub fn run_traced(mut self, capacity: usize) -> (RunMetrics, String) {
         self.enable_trace(capacity);
-        let mut me = self;
-        while me.nodes_done < me.nodes.len() {
-            let Some((now, event)) = me.queue.pop() else {
-                panic!("protocol deadlock; trace:\n{}", me.trace.dump());
-            };
-            assert!(
-                now < me.config.max_cycles,
-                "livelock guard; trace:\n{}",
-                me.trace.dump()
-            );
-            me.dispatch_event(now, event);
+        match self.run_loop() {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
         }
-        let dump = me.trace.dump();
-        (me.finalize(), dump)
+        let dump = self.trace.dump();
+        (self.finalize(), dump)
     }
 
     /// Run to completion, returning both the metrics and the final memory
     /// image (for serializability checking).
-    pub fn run_full(mut self) -> (RunMetrics, MemoryImage) {
-        while self.nodes_done < self.nodes.len() {
-            let Some((now, event)) = self.queue.pop() else {
-                panic!(
-                    "event queue drained with {} of {} nodes unfinished ({} @ seed {}) — protocol deadlock",
-                    self.nodes.len() - self.nodes_done,
-                    self.nodes.len(),
-                    self.workload_name,
-                    self.seed
-                );
-            };
-            assert!(
-                now < self.config.max_cycles,
-                "exceeded max_cycles ({}) on {} seed {} — livelock guard",
-                self.config.max_cycles,
-                self.workload_name,
-                self.seed
-            );
-            self.dispatch_event(now, event);
+    ///
+    /// Panics on deadlock/livelock; prefer [`System::try_run_full`] where a
+    /// structured [`RunError`] is more useful.
+    pub fn run_full(self) -> (RunMetrics, MemoryImage) {
+        match self.try_run_full() {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Run to completion, reporting deadlock/livelock as a structured
+    /// [`RunError`] (with the NACK wait-for graph and any retained trace)
+    /// instead of panicking.
+    pub fn try_run(self) -> Result<RunMetrics, RunError> {
+        self.try_run_full().map(|(m, _)| m)
+    }
+
+    /// Like [`System::try_run`] but also returns the final memory image.
+    pub fn try_run_full(mut self) -> Result<(RunMetrics, MemoryImage), RunError> {
+        self.run_loop()?;
         let memory = std::mem::take(&mut self.memory);
-        (self.finalize(), memory)
+        Ok((self.finalize(), memory))
+    }
+
+    fn run_loop(&mut self) -> Result<(), RunError> {
+        while self.step_once()? {}
+        Ok(())
+    }
+
+    /// Pop and dispatch one event. Returns `Ok(false)` once every node has
+    /// retired, `Ok(true)` if more events remain, and a structured error on
+    /// deadlock (drained queue), livelock (`max_cycles` exceeded), or a
+    /// stalled forward-progress watchdog window.
+    fn step_once(&mut self) -> Result<bool, RunError> {
+        if self.nodes_done >= self.nodes.len() {
+            return Ok(false);
+        }
+        let Some((now, event)) = self.queue.pop() else {
+            return Err(self.deadlock_error());
+        };
+        self.last_cycle = now;
+        if now >= self.config.max_cycles {
+            return Err(self.livelock_error(now, self.config.max_cycles));
+        }
+        if now >= self.watchdog_next {
+            let marker = self.progress_marker();
+            if marker == self.watchdog_last {
+                return Err(self.livelock_error(now, self.config.watchdog_window));
+            }
+            self.watchdog_last = marker;
+            self.watchdog_next = now + self.config.watchdog_window;
+        }
+        self.dispatch_event(now, event);
+        Ok(true)
+    }
+
+    /// Monotone system-wide progress measure sampled by the watchdog:
+    /// total commits plus retired nodes (so post-commit drain phases still
+    /// count as progress).
+    fn progress_marker(&self) -> u64 {
+        let commits: u64 = self.nodes.iter().map(|n| n.htm.stats().commits.get()).sum();
+        commits + self.nodes_done as u64
+    }
+
+    /// Render who-waits-on-whom over nacked lines, for failure diagnostics.
+    /// Best-effort: built from each node's retry state and the nackers of
+    /// its last failed episode (or its in-flight MSHR).
+    fn nack_wait_for_graph(&self) -> String {
+        let mut lines = Vec::new();
+        for n in &self.nodes {
+            if n.is_done() {
+                continue;
+            }
+            if let Some(addr) = n.waiting_on() {
+                let nackers: Vec<String> = n
+                    .last_nackers()
+                    .iter()
+                    .map(|id| format!("node {}", id.0))
+                    .collect();
+                lines.push(format!(
+                    "  node {} retries line {:#x}, last nacked by [{}]",
+                    n.id.0,
+                    addr.0,
+                    nackers.join(", ")
+                ));
+            } else if let Some(mshr) = &n.mshr {
+                lines.push(format!(
+                    "  node {} blocked in-flight on line {:#x} ({} nacks so far)",
+                    n.id.0,
+                    mshr.addr.0,
+                    mshr.nackers.len()
+                ));
+            }
+        }
+        if lines.is_empty() {
+            "  (no node is waiting on a nacked line)".to_string()
+        } else {
+            lines.join("\n")
+        }
+    }
+
+    fn deadlock_error(&self) -> RunError {
+        RunError::Deadlock {
+            workload: self.workload_name.clone(),
+            seed: self.seed,
+            cycle: self.last_cycle,
+            unfinished_nodes: self
+                .nodes
+                .iter()
+                .filter(|n| !n.is_done())
+                .map(|n| n.id.0)
+                .collect(),
+            wait_for: self.nack_wait_for_graph(),
+            trace: self.trace.dump(),
+        }
+    }
+
+    fn livelock_error(&self, now: Cycle, commit_window: u64) -> RunError {
+        RunError::Livelock {
+            workload: self.workload_name.clone(),
+            seed: self.seed,
+            cycles: now,
+            commit_window,
+            wait_for: self.nack_wait_for_graph(),
+            trace: self.trace.dump(),
+        }
     }
 
     fn on_node_wake(&mut self, now: Cycle, node: NodeId, epoch: u64) {
@@ -307,7 +497,21 @@ impl System {
         if self.nodes[idx].phase != crate::node::Phase::Ready {
             return; // blocked on the MSHR; its completion will reschedule
         }
+        // Forced-abort hook: detect a transaction beginning across this
+        // step and (rate permitting) schedule an abort mid-transaction.
+        let probe_begin = !self.fault.is_empty() && self.nodes[idx].htm.current().is_none();
         let eff = self.nodes[idx].step(now, &mut self.memory);
+        if probe_begin && self.nodes[idx].htm.current().is_some() && self.fault.forced_abort() {
+            let at = now + self.fault.forced_abort_delay();
+            self.queue.schedule_at(
+                at,
+                Event::Fault {
+                    kind: FaultKind::ForcedAbort,
+                    node,
+                    magnitude: 0,
+                },
+            );
+        }
         self.apply_effects(now, node, eff);
     }
 
@@ -343,7 +547,15 @@ impl System {
                 self.apply_dir_actions(now, dst, actions);
             }
             // Forwards to sharers/owners.
-            CoherenceMsg::Inv { .. } | CoherenceMsg::FwdGets { .. } | CoherenceMsg::FwdGetx { .. } => {
+            CoherenceMsg::Inv { .. }
+            | CoherenceMsg::FwdGets { .. }
+            | CoherenceMsg::FwdGetx { .. } => {
+                // Spurious-NACK hook: a conservative refusal is always
+                // protocol-legal (the requester backs off and retries), so
+                // a fault may downgrade a would-be Comply to a Nack.
+                if !self.fault.is_empty() && self.fault.spurious_nack() {
+                    self.nodes[dst.index()].arm_spurious_nack();
+                }
                 let eff = self.nodes[dst.index()].on_forward(now, &msg, &mut self.memory);
                 self.apply_effects(now, dst, eff);
             }
@@ -392,6 +604,11 @@ impl System {
             self.queue
                 .schedule_at(at.max(now), Event::NodeWake { node, epoch });
         }
+        if eff.injected_nack {
+            // Recorded at application time: the one-shot arm only counts
+            // if it actually downgraded a Comply.
+            self.fault.record_spurious_nack();
+        }
         if let Some((nacked, aborted)) = eff.oracle_episode {
             self.oracle.record_episode(nacked, aborted);
         }
@@ -401,7 +618,32 @@ impl System {
         }
     }
 
+    /// Fault hook point: every protocol message passes through here before
+    /// entering the network. With an empty plan this is a direct call to
+    /// [`System::inject_now`] — no RNG is consulted, keeping fault-free
+    /// runs bit-identical.
     fn inject(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: CoherenceMsg) {
+        if !self.fault.is_empty() {
+            let owed = std::mem::take(&mut self.pending_jitter[src.index()]);
+            let delay = if owed > 0 {
+                self.fault.record_jitter(owed);
+                Some(owed)
+            } else {
+                self.fault.message_delay()
+            };
+            if let Some(stall) = self.fault.link_stall() {
+                self.network.stall_links(now, src, stall);
+            }
+            if let Some(delay) = delay {
+                self.queue
+                    .schedule_at(now + delay, Event::FaultedInject { src, dst, msg });
+                return;
+            }
+        }
+        self.inject_now(now, src, dst, msg);
+    }
+
+    fn inject_now(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: CoherenceMsg) {
         let vnet = msg.vnet();
         let flits = msg.flits();
         self.network.inject(now, src, dst, vnet, flits, msg);
@@ -437,6 +679,7 @@ impl System {
             self.network.link_stats().skew(),
             self.oracle,
             puno,
+            self.fault.stats.clone(),
         )
     }
 }
@@ -509,6 +752,55 @@ mod tests {
         let config = SystemConfig::paper(Mechanism::Puno);
         let (metrics, _) = System::new(config, &params, 5).run_checked(&lines, 64);
         assert_eq!(metrics.committed, 16 * 10);
+    }
+
+    #[test]
+    fn watchdog_trips_on_a_stalled_window() {
+        // A watchdog window far below any commit latency must flag the run
+        // as livelocked long before max_cycles, with diagnostics attached.
+        let params = micro::hotspot(10);
+        let mut config = SystemConfig::paper(Mechanism::Baseline);
+        config.watchdog_window = 5;
+        let err = System::new(config, &params, 1)
+            .try_run()
+            .expect_err("a 5-cycle progress window cannot be met");
+        match &err {
+            crate::error::RunError::Livelock {
+                cycles,
+                commit_window,
+                wait_for,
+                ..
+            } => {
+                assert!(*cycles < config.max_cycles, "watchdog must fire first");
+                assert_eq!(*commit_window, 5);
+                assert!(!wait_for.is_empty(), "wait-for graph must be rendered");
+            }
+            other => panic!("expected Livelock, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "livelock");
+        assert!(err.to_string().contains("wait-for graph"));
+    }
+
+    #[test]
+    fn max_cycles_guard_reports_structured_livelock() {
+        let params = micro::hotspot(10);
+        let mut config = SystemConfig::paper(Mechanism::Baseline);
+        config.max_cycles = 50;
+        config.watchdog_window = 1_000_000;
+        let err = System::new(config, &params, 1)
+            .try_run()
+            .expect_err("50 cycles cannot complete a hotspot run");
+        assert_eq!(err.kind(), "livelock");
+    }
+
+    #[test]
+    fn healthy_runs_pass_the_default_watchdog() {
+        let params = micro::hotspot(10);
+        let config = SystemConfig::paper(Mechanism::Puno);
+        let m = System::new(config, &params, 5)
+            .try_run()
+            .expect("default watchdog must not false-trip");
+        assert_eq!(m.committed, 16 * 10);
     }
 
     #[test]

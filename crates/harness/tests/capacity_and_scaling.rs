@@ -97,7 +97,10 @@ fn eight_by_eight_mesh_runs_and_puno_still_engages() {
     let params = micro::hotspot(4);
     let m = run_with_config(config, &params, 1);
     assert_eq!(m.committed, 64 * 4);
-    assert!(m.puno.unicasts.get() > 0, "predictor must engage on 64 nodes");
+    assert!(
+        m.puno.unicasts.get() > 0,
+        "predictor must engage on 64 nodes"
+    );
 
     let mut base_cfg = SystemConfig::paper(Mechanism::Baseline);
     base_cfg.mesh = Mesh::new(8, 8);

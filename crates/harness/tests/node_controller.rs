@@ -3,9 +3,9 @@
 //! cases of the protocol that unit tests inside `node.rs` do not reach
 //! end-to-end.
 
+use puno_coherence::l1::L1Config;
 use puno_harness::run::run_with_config;
 use puno_harness::{Mechanism, SystemConfig};
-use puno_coherence::l1::L1Config;
 use puno_workloads::{micro, StaticTxParams, WorkloadParams};
 
 /// A workload engineered to churn the L1 hard (private footprint much

@@ -51,12 +51,8 @@ pub fn decide_forward(
     requester_ts: Option<Timestamp>,
     unicast: bool,
 ) -> ForwardDecision {
-    let conflict_and_ts = local.map(|(sets, ts)| {
-        (
-            sets.conflicts_with(addr, kind == IncomingKind::Write),
-            ts,
-        )
-    });
+    let conflict_and_ts =
+        local.map(|(sets, ts)| (sets.conflicts_with(addr, kind == IncomingKind::Write), ts));
     decide_with_conflict(conflict_and_ts, requester_ts, unicast)
 }
 
@@ -132,7 +128,13 @@ mod tests {
     #[test]
     fn no_transaction_complies() {
         assert_eq!(
-            decide_forward(None, LineAddr(1), IncomingKind::Write, Some(Timestamp(5)), false),
+            decide_forward(
+                None,
+                LineAddr(1),
+                IncomingKind::Write,
+                Some(Timestamp(5)),
+                false
+            ),
             ForwardDecision::Comply
         );
     }
@@ -281,7 +283,13 @@ mod tests {
         // answers MP-NACK so the directory drops the stale priority and the
         // retry goes out as a normal multicast.
         assert_eq!(
-            decide_forward(None, LineAddr(1), IncomingKind::Write, Some(Timestamp(10)), true),
+            decide_forward(
+                None,
+                LineAddr(1),
+                IncomingKind::Write,
+                Some(Timestamp(10)),
+                true
+            ),
             ForwardDecision::Nack { mispredict: true }
         );
     }

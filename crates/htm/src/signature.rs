@@ -27,7 +27,10 @@ pub struct SignatureConfig {
 impl Default for SignatureConfig {
     fn default() -> Self {
         // LogTM-SE-class sizing: 2 Kbit, k=2.
-        Self { bits: 2048, hashes: 2 }
+        Self {
+            bits: 2048,
+            hashes: 2,
+        }
     }
 }
 
@@ -42,9 +45,7 @@ pub struct Signature {
 #[inline]
 fn mix(addr: u64, salt: u64) -> u64 {
     // Fibonacci-style multiplicative hashing with per-function salts.
-    let mut x = addr
-        .wrapping_add(salt)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut x = addr.wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     x ^= x >> 29;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^ (x >> 32)
@@ -231,7 +232,10 @@ mod tests {
 
     #[test]
     fn tiny_signatures_alias_aggressively() {
-        let mut s = Signature::new(SignatureConfig { bits: 64, hashes: 1 });
+        let mut s = Signature::new(SignatureConfig {
+            bits: 64,
+            hashes: 1,
+        });
         for i in 0..64u64 {
             s.insert(LineAddr(i));
         }

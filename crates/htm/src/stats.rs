@@ -20,14 +20,18 @@ pub enum AbortCause {
     /// (see `overflow_evictions`), so this cause stays at zero there;
     /// retained for the accounting's totality and for bounded variants.
     Capacity,
+    /// Fault-injected abort (forced by a `FaultPlan`, not by any conflict).
+    /// Zero in fault-free runs.
+    Injected,
 }
 
 impl AbortCause {
-    pub const ALL: [AbortCause; 4] = [
+    pub const ALL: [AbortCause; 5] = [
         AbortCause::TxWriteInvalidation,
         AbortCause::TxReadConflict,
         AbortCause::NonTxConflict,
         AbortCause::Capacity,
+        AbortCause::Injected,
     ];
 
     fn index(self) -> usize {
@@ -36,6 +40,7 @@ impl AbortCause {
             AbortCause::TxReadConflict => 1,
             AbortCause::NonTxConflict => 2,
             AbortCause::Capacity => 3,
+            AbortCause::Injected => 4,
         }
     }
 }
@@ -45,7 +50,7 @@ impl AbortCause {
 pub struct HtmStats {
     pub commits: Counter,
     pub aborts: Counter,
-    aborts_by_cause: [u64; 4],
+    aborts_by_cause: [u64; 5],
     pub nacks_received: Counter,
     pub nacks_sent: Counter,
     /// NACKs sent that carried a PUNO notification.
@@ -78,7 +83,7 @@ impl Default for HtmStats {
         Self {
             commits: Counter::default(),
             aborts: Counter::default(),
-            aborts_by_cause: [0; 4],
+            aborts_by_cause: [0; 5],
             nacks_received: Counter::default(),
             nacks_sent: Counter::default(),
             notifications_sent: Counter::default(),
@@ -139,7 +144,7 @@ impl HtmStats {
     pub fn merge(&mut self, other: &HtmStats) {
         self.commits.add(other.commits.get());
         self.aborts.add(other.aborts.get());
-        for i in 0..4 {
+        for i in 0..self.aborts_by_cause.len() {
             self.aborts_by_cause[i] += other.aborts_by_cause[i];
         }
         self.nacks_received.add(other.nacks_received.get());
@@ -150,7 +155,8 @@ impl HtmStats {
         self.good_cycles.add(other.good_cycles.get());
         self.discarded_cycles.add(other.discarded_cycles.get());
         self.backoff_cycles.add(other.backoff_cycles.get());
-        self.sig_alias_conflicts.add(other.sig_alias_conflicts.get());
+        self.sig_alias_conflicts
+            .add(other.sig_alias_conflicts.get());
         self.overflow_evictions.add(other.overflow_evictions.get());
     }
 }

@@ -3,10 +3,10 @@
 //! coherence requests.
 
 use crate::conflict::{decide_forward, decide_with_conflict, ForwardDecision, IncomingKind};
-use crate::signature::{SignatureConfig, SignaturePair};
 use crate::log::{LogEntry, UndoLog};
 use crate::rmw::{OpSite, RmwPredictor};
 use crate::rwset::ReadWriteSets;
+use crate::signature::{SignatureConfig, SignaturePair};
 use crate::stats::{AbortCause, HtmStats};
 use puno_sim::{Cycle, Cycles, LineAddr, NodeId, StaticTxId, Timestamp, TxId};
 use serde::{Deserialize, Serialize};
@@ -131,7 +131,10 @@ impl HtmUnit {
 
     /// Switch conflict detection to Bloom signatures (LogTM-SE style).
     pub fn enable_signatures(&mut self, config: SignatureConfig) {
-        assert!(self.current.is_none(), "cannot switch modes mid-transaction");
+        assert!(
+            self.current.is_none(),
+            "cannot switch modes mid-transaction"
+        );
         self.signature_mode = Some(config);
     }
 
@@ -169,7 +172,11 @@ impl HtmUnit {
         timestamp: Timestamp,
         prior_aborts: u32,
     ) {
-        assert!(self.current.is_none(), "transaction already active on {:?}", self.node);
+        assert!(
+            self.current.is_none(),
+            "transaction already active on {:?}",
+            self.node
+        );
         self.current = Some(TxContext {
             tx,
             static_tx,
@@ -319,7 +326,13 @@ mod tests {
         assert_eq!(u.status(), TxStatus::Idle);
         begin(&mut u, 100, 1);
         assert_eq!(u.status(), TxStatus::Active);
-        u.record_load(LineAddr(1), OpSite { static_tx: 0, op_index: 0 });
+        u.record_load(
+            LineAddr(1),
+            OpSite {
+                static_tx: 0,
+                op_index: 0,
+            },
+        );
         u.record_store(LineAddr(2), 42);
         let out = u.commit(250);
         assert_eq!(out.length, 150);
@@ -337,7 +350,11 @@ mod tests {
         u.record_store(LineAddr(6), 20);
         let out = u.abort(80, AbortCause::TxWriteInvalidation);
         assert_eq!(out.rollback.len(), 2);
-        assert_eq!(out.rollback[0].addr, LineAddr(6), "rollback is newest-first");
+        assert_eq!(
+            out.rollback[0].addr,
+            LineAddr(6),
+            "rollback is newest-first"
+        );
         assert_eq!(out.penalty, 20 + 2 * 2);
         assert_eq!(out.consecutive_aborts, 1);
         assert_eq!(u.stats().aborts.get(), 1);
@@ -349,7 +366,13 @@ mod tests {
         let mut u = unit();
         begin(&mut u, 0, 7);
         let out = u.abort(10, AbortCause::TxReadConflict);
-        u.begin(30, out.static_tx, out.tx, out.timestamp, out.consecutive_aborts);
+        u.begin(
+            30,
+            out.static_tx,
+            out.tx,
+            out.timestamp,
+            out.consecutive_aborts,
+        );
         let ctx = u.current().unwrap();
         assert_eq!(ctx.timestamp, Timestamp(7));
         assert_eq!(ctx.prior_aborts, 1);
@@ -361,7 +384,13 @@ mod tests {
     fn forward_decision_uses_active_footprint() {
         let mut u = unit();
         begin(&mut u, 0, 10);
-        u.record_load(LineAddr(3), OpSite { static_tx: 0, op_index: 0 });
+        u.record_load(
+            LineAddr(3),
+            OpSite {
+                static_tx: 0,
+                op_index: 0,
+            },
+        );
         // Older writer (ts 5) beats our reader (ts 10): abort.
         assert_eq!(
             u.respond_forward(LineAddr(3), IncomingKind::Write, Some(Timestamp(5)), false),
@@ -376,8 +405,15 @@ mod tests {
 
     #[test]
     fn rmw_predictor_trains_through_unit() {
-        let mut u = HtmUnit::new(NodeId(0), AbortTiming::default(), Some(RmwPredictor::new(8)));
-        let site = OpSite { static_tx: 3, op_index: 1 };
+        let mut u = HtmUnit::new(
+            NodeId(0),
+            AbortTiming::default(),
+            Some(RmwPredictor::new(8)),
+        );
+        let site = OpSite {
+            static_tx: 3,
+            op_index: 1,
+        };
         begin(&mut u, 0, 1);
         assert!(!u.load_wants_exclusive(site));
         u.record_load(LineAddr(9), site);
@@ -390,7 +426,10 @@ mod tests {
     fn rmw_disabled_never_predicts() {
         let mut u = unit();
         begin(&mut u, 0, 1);
-        let site = OpSite { static_tx: 0, op_index: 0 };
+        let site = OpSite {
+            static_tx: 0,
+            op_index: 0,
+        };
         u.record_load(LineAddr(9), site);
         u.record_store(LineAddr(9), 0);
         u.commit(10);
@@ -410,7 +449,13 @@ mod tests {
         let mut u = unit();
         begin(&mut u, 0, 1);
         let out = u.abort(50, AbortCause::Capacity);
-        u.begin(100, out.static_tx, out.tx, out.timestamp, out.consecutive_aborts);
+        u.begin(
+            100,
+            out.static_tx,
+            out.tx,
+            out.timestamp,
+            out.consecutive_aborts,
+        );
         assert_eq!(u.current().unwrap().elapsed(130), 30);
     }
 }

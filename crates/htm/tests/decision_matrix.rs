@@ -36,18 +36,13 @@ fn build_sets(fp: Footprint) -> ReadWriteSets {
 fn requester_ts(r: Requester) -> Option<Timestamp> {
     match r {
         Requester::NonTx => None,
-        Requester::Older => Some(Timestamp(10)),   // local is 100
+        Requester::Older => Some(Timestamp(10)), // local is 100
         Requester::Younger => Some(Timestamp(500)),
     }
 }
 
 /// The specification, written as a table.
-fn expected(
-    fp: Footprint,
-    kind: IncomingKind,
-    req: Requester,
-    unicast: bool,
-) -> ForwardDecision {
+fn expected(fp: Footprint, kind: IncomingKind, req: Requester, unicast: bool) -> ForwardDecision {
     let conflicts = match (fp, kind) {
         (Footprint::None, _) => false,
         (Footprint::ReadOnly, IncomingKind::Read) => false,

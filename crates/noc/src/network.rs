@@ -5,7 +5,7 @@ use crate::packet::{Packet, VirtualNetwork};
 use crate::router::Router;
 use crate::topology::{Mesh, Port};
 use crate::traffic::TrafficStats;
-use puno_sim::{Cycle, NodeId};
+use puno_sim::{Cycle, Cycles, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -53,14 +53,21 @@ pub struct Network<P> {
 impl<P> Network<P> {
     pub fn new(mesh: Mesh, config: NocConfig) -> Self {
         assert!(config.pipeline_depth >= 1);
-        assert!(config.buffer_flits >= crate::packet::DATA_FLITS, "buffers must fit a data packet");
+        assert!(
+            config.buffer_flits >= crate::packet::DATA_FLITS,
+            "buffers must fit a data packet"
+        );
         let n = mesh.nodes();
         Self {
             mesh,
             config,
             routers: (0..n).map(|_| Router::new()).collect(),
             inject_queues: (0..n)
-                .map(|_| (0..VirtualNetwork::COUNT).map(|_| VecDeque::new()).collect())
+                .map(|_| {
+                    (0..VirtualNetwork::COUNT)
+                        .map(|_| VecDeque::new())
+                        .collect()
+                })
                 .collect(),
             deliveries: Vec::new(),
             stats: TrafficStats::default(),
@@ -94,6 +101,19 @@ impl<P> Network<P> {
     /// Packets currently buffered inside routers (diagnostics).
     pub fn resident_packets(&self) -> usize {
         self.routers.iter().map(|r| r.resident_packets()).sum()
+    }
+
+    /// Fault-injection hook: hold every output link of `node`'s router busy
+    /// until at least `now + cycles`. Flits already in flight are unaffected
+    /// (their busy horizon only ever extends); queued flits wait out the
+    /// stall under normal credit backpressure, so nothing is lost.
+    pub fn stall_links(&mut self, now: Cycle, node: NodeId, cycles: Cycles) {
+        let until = now + cycles;
+        let router = &mut self.routers[node.index()];
+        for port in Port::ALL {
+            let slot = &mut router.link_busy_until[port.index()];
+            *slot = (*slot).max(until);
+        }
     }
 
     /// Hand a packet to the source node's network interface at cycle `now`.
@@ -168,7 +188,9 @@ impl<P> Network<P> {
                     let in_port = idx / VirtualNetwork::COUNT;
                     let vnet_idx = idx % VirtualNetwork::COUNT;
                     let buf = &self.routers[r].inputs[in_port][vnet_idx];
-                    let Some(head) = buf.queue.front() else { continue };
+                    let Some(head) = buf.queue.front() else {
+                        continue;
+                    };
                     if head.ready_at > now {
                         continue;
                     }
@@ -194,7 +216,9 @@ impl<P> Network<P> {
                     self.routers[r].rr_pointer[out_port.index()] = (idx + 1) % n_candidates;
                     break;
                 }
-                let Some((in_port, vnet_idx)) = winner else { continue };
+                let Some((in_port, vnet_idx)) = winner else {
+                    continue;
+                };
                 // Dequeue the winner and traverse.
                 let buffered = {
                     let buf = &mut self.routers[r].inputs[in_port][vnet_idx];
@@ -217,15 +241,9 @@ impl<P> Network<P> {
                     });
                 } else {
                     let next = self.mesh.neighbor(here, out_port).unwrap();
-                    let ready_at =
-                        now + flits as Cycle + self.config.pipeline_depth as Cycle - 1;
+                    let ready_at = now + flits as Cycle + self.config.pipeline_depth as Cycle - 1;
                     let vnet = packet.vnet;
-                    self.routers[next.index()].accept(
-                        opposite(out_port),
-                        vnet,
-                        ready_at,
-                        packet,
-                    );
+                    self.routers[next.index()].accept(opposite(out_port), vnet, ready_at, packet);
                 }
             }
         }
@@ -266,7 +284,11 @@ mod tests {
     use super::*;
     use crate::packet::{CONTROL_FLITS, DATA_FLITS};
 
-    fn run_until_idle(net: &mut Network<u32>, start: Cycle, max: Cycle) -> Vec<(Cycle, NodeId, u32)> {
+    fn run_until_idle(
+        net: &mut Network<u32>,
+        start: Cycle,
+        max: Cycle,
+    ) -> Vec<(Cycle, NodeId, u32)> {
         let mut delivered = Vec::new();
         let mut now = start;
         while !net.is_idle() {
@@ -282,7 +304,14 @@ mod tests {
     #[test]
     fn delivers_single_packet_with_expected_latency() {
         let mut net = Network::new(Mesh::paper(), NocConfig::default());
-        net.inject(0, NodeId(0), NodeId(3), VirtualNetwork::Request, CONTROL_FLITS, 7);
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(3),
+            VirtualNetwork::Request,
+            CONTROL_FLITS,
+            7,
+        );
         let delivered = run_until_idle(&mut net, 0, 1000);
         assert_eq!(delivered.len(), 1);
         let (cycle, node, payload) = delivered[0];
@@ -296,7 +325,14 @@ mod tests {
     #[test]
     fn local_delivery_goes_through_one_router() {
         let mut net = Network::new(Mesh::paper(), NocConfig::default());
-        net.inject(0, NodeId(5), NodeId(5), VirtualNetwork::Response, DATA_FLITS, 1);
+        net.inject(
+            0,
+            NodeId(5),
+            NodeId(5),
+            VirtualNetwork::Response,
+            DATA_FLITS,
+            1,
+        );
         let delivered = run_until_idle(&mut net, 0, 100);
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].1, NodeId(5));
@@ -307,7 +343,14 @@ mod tests {
     fn traversal_count_is_flits_times_routers() {
         let mut net = Network::new(Mesh::paper(), NocConfig::default());
         // 0 -> 15 is 6 hops; the packet crosses 7 routers (incl. ejection).
-        net.inject(0, NodeId(0), NodeId(15), VirtualNetwork::Response, DATA_FLITS, 9);
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(15),
+            VirtualNetwork::Response,
+            DATA_FLITS,
+            9,
+        );
         run_until_idle(&mut net, 0, 1000);
         assert_eq!(net.stats().router_traversals(), 7 * DATA_FLITS as u64);
         assert_eq!(net.stats().flits_injected(), DATA_FLITS as u64);
@@ -344,8 +387,22 @@ mod tests {
         // the (2 -> 3) link, so the second must finish >= DATA_FLITS cycles
         // after the first.
         let mut net = Network::new(Mesh::paper(), NocConfig::default());
-        net.inject(0, NodeId(0), NodeId(3), VirtualNetwork::Response, DATA_FLITS, 0);
-        net.inject(0, NodeId(1), NodeId(3), VirtualNetwork::Response, DATA_FLITS, 1);
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(3),
+            VirtualNetwork::Response,
+            DATA_FLITS,
+            0,
+        );
+        net.inject(
+            0,
+            NodeId(1),
+            NodeId(3),
+            VirtualNetwork::Response,
+            DATA_FLITS,
+            1,
+        );
         let delivered = run_until_idle(&mut net, 0, 10_000);
         assert_eq!(delivered.len(), 2);
         let t0 = delivered.iter().find(|d| d.2 == 0).unwrap().0;
@@ -364,10 +421,24 @@ mod tests {
         );
         // Saturate the request vnet's local buffer at node 0...
         for i in 0..10 {
-            net.inject(0, NodeId(0), NodeId(1), VirtualNetwork::Request, DATA_FLITS, i);
+            net.inject(
+                0,
+                NodeId(0),
+                NodeId(1),
+                VirtualNetwork::Request,
+                DATA_FLITS,
+                i,
+            );
         }
         // ...a response packet must still make timely progress.
-        net.inject(0, NodeId(0), NodeId(1), VirtualNetwork::Response, CONTROL_FLITS, 99);
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(1),
+            VirtualNetwork::Response,
+            CONTROL_FLITS,
+            99,
+        );
         let delivered = run_until_idle(&mut net, 0, 100_000);
         let resp_cycle = delivered.iter().find(|d| d.2 == 99).unwrap().0;
         let last_req = delivered

@@ -70,6 +70,7 @@ mod tests {
 
     #[test]
     fn data_messages_are_bigger_than_control() {
-        assert!(DATA_FLITS > CONTROL_FLITS);
+        let (data, control) = (DATA_FLITS, CONTROL_FLITS);
+        assert!(data > control);
     }
 }

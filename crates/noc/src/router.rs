@@ -55,7 +55,11 @@ impl<P> Router<P> {
     pub fn new() -> Self {
         Self {
             inputs: (0..5)
-                .map(|_| (0..VirtualNetwork::COUNT).map(|_| InputBuffer::new()).collect())
+                .map(|_| {
+                    (0..VirtualNetwork::COUNT)
+                        .map(|_| InputBuffer::new())
+                        .collect()
+                })
                 .collect(),
             link_busy_until: [0; 5],
             rr_pointer: [0; 5],
@@ -71,13 +75,7 @@ impl<P> Router<P> {
     }
 
     /// Enqueue a packet into an input buffer. Caller must have checked space.
-    pub fn accept(
-        &mut self,
-        port: Port,
-        vnet: VirtualNetwork,
-        ready_at: Cycle,
-        packet: Packet<P>,
-    ) {
+    pub fn accept(&mut self, port: Port, vnet: VirtualNetwork, ready_at: Cycle, packet: Packet<P>) {
         let buf = self.buffer_mut(port, vnet);
         buf.occupied_flits += packet.flits;
         buf.queue.push_back(BufferedPacket { ready_at, packet });

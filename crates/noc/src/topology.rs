@@ -15,7 +15,13 @@ pub enum Port {
 }
 
 impl Port {
-    pub const ALL: [Port; 5] = [Port::Local, Port::East, Port::West, Port::North, Port::South];
+    pub const ALL: [Port; 5] = [
+        Port::Local,
+        Port::East,
+        Port::West,
+        Port::North,
+        Port::South,
+    ];
 
     #[inline]
     pub fn index(self) -> usize {
@@ -174,7 +180,18 @@ mod tests {
         let m = Mesh::paper();
         let p = m.path_xy(NodeId(0), NodeId(15));
         assert_eq!(p.len() as u16, m.hops(NodeId(0), NodeId(15)) + 1);
-        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(7), NodeId(11), NodeId(15)]);
+        assert_eq!(
+            p,
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(7),
+                NodeId(11),
+                NodeId(15)
+            ]
+        );
     }
 
     #[test]
@@ -192,7 +209,11 @@ mod tests {
         // Closed form for the 4x4 mesh over ordered *distinct* pairs:
         // sum of Manhattan distances = 640 over 240 pairs = 8/3.
         let m = Mesh::paper();
-        assert!((m.mean_hops() - 8.0 / 3.0).abs() < 1e-9, "{}", m.mean_hops());
+        assert!(
+            (m.mean_hops() - 8.0 / 3.0).abs() < 1e-9,
+            "{}",
+            m.mean_hops()
+        );
     }
 
     #[test]

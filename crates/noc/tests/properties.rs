@@ -1,9 +1,10 @@
-//! Property tests for the mesh network: delivery is exactly-once, latency
-//! is bounded below by the zero-load model, and the network always drains.
+//! Randomized property tests for the mesh network: delivery is exactly-once,
+//! latency is bounded below by the zero-load model, and the network always
+//! drains. Cases are generated from a fixed-seed `SimRng` (the registryless
+//! build cannot use proptest), so failures are reproducible by case index.
 
-use proptest::prelude::*;
 use puno_noc::{LatencyModel, Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS, DATA_FLITS};
-use puno_sim::NodeId;
+use puno_sim::{NodeId, SimRng};
 
 #[derive(Clone, Debug)]
 struct Injection {
@@ -14,21 +15,14 @@ struct Injection {
     data: bool,
 }
 
-fn arb_injection(nodes: u16) -> impl Strategy<Value = Injection> {
-    (
-        0u64..200,
-        0..nodes,
-        0..nodes,
-        0usize..VirtualNetwork::COUNT,
-        any::<bool>(),
-    )
-        .prop_map(|(at, src, dst, vnet, data)| Injection {
-            at,
-            src,
-            dst,
-            vnet,
-            data,
-        })
+fn gen_injection(rng: &mut SimRng, nodes: u16) -> Injection {
+    Injection {
+        at: rng.gen_range(200),
+        src: rng.gen_range(nodes as u64) as u16,
+        dst: rng.gen_range(nodes as u64) as u16,
+        vnet: rng.gen_range(VirtualNetwork::COUNT as u64) as usize,
+        data: rng.gen_bool(0.5),
+    }
 }
 
 fn vnet_of(i: usize) -> VirtualNetwork {
@@ -39,15 +33,14 @@ fn vnet_of(i: usize) -> VirtualNetwork {
     ][i]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// Every injected packet is delivered exactly once, at its destination,
-    /// and the network fully drains.
-    #[test]
-    fn exactly_once_delivery(
-        injections in proptest::collection::vec(arb_injection(16), 1..120),
-    ) {
+/// Every injected packet is delivered exactly once, at its destination, and
+/// the network fully drains.
+#[test]
+fn exactly_once_delivery() {
+    let mut rng = SimRng::new(0x5eed_0001);
+    for case in 0..64 {
+        let count = 1 + rng.gen_range(119) as usize;
+        let injections: Vec<Injection> = (0..count).map(|_| gen_injection(&mut rng, 16)).collect();
         let mesh = Mesh::paper();
         let mut net: Network<usize> = Network::new(mesh, NocConfig::default());
         let mut sorted = injections.clone();
@@ -59,7 +52,14 @@ proptest! {
             while cursor < sorted.len() && sorted[cursor].at == now {
                 let inj = &sorted[cursor];
                 let flits = if inj.data { DATA_FLITS } else { CONTROL_FLITS };
-                net.inject(now, NodeId(inj.src), NodeId(inj.dst), vnet_of(inj.vnet), flits, cursor);
+                net.inject(
+                    now,
+                    NodeId(inj.src),
+                    NodeId(inj.dst),
+                    vnet_of(inj.vnet),
+                    flits,
+                    cursor,
+                );
                 cursor += 1;
             }
             for (node, id) in net.step(now) {
@@ -69,56 +69,79 @@ proptest! {
             if cursor >= sorted.len() && net.is_idle() {
                 break;
             }
-            prop_assert!(now < 200_000, "network failed to drain");
+            assert!(now < 200_000, "case {case}: network failed to drain");
         }
-        prop_assert_eq!(delivered.len(), sorted.len());
+        assert_eq!(delivered.len(), sorted.len(), "case {case}");
         delivered.sort_by_key(|d| d.0);
         for (k, (id, node)) in delivered.iter().enumerate() {
-            prop_assert_eq!(*id, k, "duplicate or lost packet");
-            prop_assert_eq!(*node, NodeId(sorted[*id].dst));
+            assert_eq!(*id, k, "case {case}: duplicate or lost packet");
+            assert_eq!(*node, NodeId(sorted[*id].dst), "case {case}");
         }
     }
+}
 
-    /// No packet beats the zero-load latency bound.
-    #[test]
-    fn latency_is_at_least_zero_load(
-        src in 0u16..16, dst in 0u16..16, data in any::<bool>(),
-    ) {
+/// No packet beats the zero-load latency bound, and an uncontended packet
+/// matches the bound exactly.
+#[test]
+fn latency_is_at_least_zero_load() {
+    let mut rng = SimRng::new(0x5eed_0002);
+    for case in 0..256 {
+        let src = rng.gen_range(16) as u16;
+        let dst = rng.gen_range(16) as u16;
+        let data = rng.gen_bool(0.5);
         let mesh = Mesh::paper();
         let config = NocConfig::default();
         let mut net: Network<u8> = Network::new(mesh, config);
         let flits = if data { DATA_FLITS } else { CONTROL_FLITS };
-        net.inject(0, NodeId(src), NodeId(dst), VirtualNetwork::Request, flits, 0);
+        net.inject(
+            0,
+            NodeId(src),
+            NodeId(dst),
+            VirtualNetwork::Request,
+            flits,
+            0,
+        );
         let mut now = 0;
         let arrival = loop {
             if let Some((node, _)) = net.step(now).pop() {
-                prop_assert_eq!(node, NodeId(dst));
+                assert_eq!(node, NodeId(dst), "case {case}");
                 break now;
             }
             now += 1;
-            prop_assert!(now < 10_000);
+            assert!(now < 10_000, "case {case}");
         };
-        let bound = LatencyModel::new(mesh, config).zero_load(mesh.hops(NodeId(src), NodeId(dst)), flits);
-        prop_assert!(arrival >= bound, "arrived {arrival} before zero-load bound {bound}");
-        // An uncontended packet matches the bound exactly.
-        prop_assert_eq!(arrival, bound);
+        let bound =
+            LatencyModel::new(mesh, config).zero_load(mesh.hops(NodeId(src), NodeId(dst)), flits);
+        assert_eq!(
+            arrival, bound,
+            "case {case}: arrived {arrival}, zero-load bound {bound}"
+        );
     }
+}
 
-    /// Traffic accounting: traversals = sum over packets of
-    /// flits x (hops + 1) when the network is uncontended per-packet.
-    #[test]
-    fn traversal_accounting_matches_path_lengths(
-        src in 0u16..16, dst in 0u16..16,
-    ) {
-        let mesh = Mesh::paper();
-        let mut net: Network<u8> = Network::new(mesh, NocConfig::default());
-        net.inject(0, NodeId(src), NodeId(dst), VirtualNetwork::Response, DATA_FLITS, 0);
-        let mut now = 0;
-        while !net.is_idle() {
-            net.step(now);
-            now += 1;
+/// Traffic accounting: traversals = flits x (hops + 1) for a single
+/// uncontended packet.
+#[test]
+fn traversal_accounting_matches_path_lengths() {
+    for src in 0u16..16 {
+        for dst in 0u16..16 {
+            let mesh = Mesh::paper();
+            let mut net: Network<u8> = Network::new(mesh, NocConfig::default());
+            net.inject(
+                0,
+                NodeId(src),
+                NodeId(dst),
+                VirtualNetwork::Response,
+                DATA_FLITS,
+                0,
+            );
+            let mut now = 0;
+            while !net.is_idle() {
+                net.step(now);
+                now += 1;
+            }
+            let expected = (mesh.hops(NodeId(src), NodeId(dst)) as u64 + 1) * DATA_FLITS as u64;
+            assert_eq!(net.stats().router_traversals(), expected, "{src}->{dst}");
         }
-        let expected = (mesh.hops(NodeId(src), NodeId(dst)) as u64 + 1) * DATA_FLITS as u64;
-        prop_assert_eq!(net.stats().router_traversals(), expected);
     }
 }

@@ -70,11 +70,19 @@ impl<E> EventQueue<E> {
     /// clamped to `now` so the simulation still makes forward progress, and
     /// debug builds assert.
     pub fn schedule_at(&mut self, at: Cycle, payload: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let cycle = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { cycle, seq, payload });
+        self.heap.push(Entry {
+            cycle,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` `delay` cycles from now.

@@ -18,6 +18,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use clock::{Cycle, Cycles};
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use ids::{LineAddr, NodeId, StaticTxId, Timestamp, TxId};
 pub use rng::SimRng;
 pub use stats::{Counter, Ewma, Histogram, RunningStats};

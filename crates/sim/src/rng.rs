@@ -43,8 +43,7 @@ impl SimRng {
     /// Mixing the label through SplitMix64 keeps sibling streams decorrelated
     /// even for adjacent labels.
     pub fn derive(&self, label: u64) -> Self {
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0xA24B_AED4_963E_E407)
             .wrapping_add(label.wrapping_mul(0x9FB2_1C65_1E98_DF25));
         let s = [
@@ -252,7 +251,12 @@ mod tests {
             let v = rng.gen_zipf(16, 0.99);
             hits[v as usize] += 1;
         }
-        assert!(hits[0] > hits[8] * 3, "zipf head {} tail {}", hits[0], hits[8]);
+        assert!(
+            hits[0] > hits[8] * 3,
+            "zipf head {} tail {}",
+            hits[0],
+            hits[8]
+        );
     }
 
     #[test]

@@ -116,10 +116,7 @@ mod tests {
     fn overhead_stays_small_through_64_nodes() {
         for n in [16u32, 32, 64] {
             let pct = PunoHardwareConfig::scaled_to_nodes(n).area_overhead_pct();
-            assert!(
-                pct < 2.0,
-                "{n} nodes: overhead {pct}% no longer negligible"
-            );
+            assert!(pct < 2.0, "{n} nodes: overhead {pct}% no longer negligible");
         }
     }
 

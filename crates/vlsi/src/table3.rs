@@ -115,14 +115,22 @@ mod tests {
             let area_err = (row.area_um2 - row.paper_area_um2).abs() / row.paper_area_um2;
             let power_err = (row.power_mw - row.paper_power_mw).abs() / row.paper_power_mw;
             assert!(area_err < 0.02, "{}: area off by {area_err}", row.component);
-            assert!(power_err < 0.03, "{}: power off by {power_err}", row.component);
+            assert!(
+                power_err < 0.03,
+                "{}: power off by {power_err}",
+                row.component
+            );
         }
     }
 
     #[test]
     fn ud_pointers_dominate_the_overhead() {
         let t = table3();
-        let ud = t.rows.iter().find(|r| r.component == "UD pointers").unwrap();
+        let ud = t
+            .rows
+            .iter()
+            .find(|r| r.component == "UD pointers")
+            .unwrap();
         assert!(ud.area_um2 > t.total_area_um2 * 0.7);
     }
 }

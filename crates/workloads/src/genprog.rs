@@ -49,7 +49,9 @@ pub fn generate_program(params: &WorkloadParams, node: NodeId, seed: u64) -> Nod
         let mut read_lines: Vec<LineAddr> = Vec::new();
         let think = |rng: &mut SimRng, ops: &mut Vec<TxOp>| {
             if st.think_per_op > 0 {
-                ops.push(TxOp::Think(rng.gen_geometric(st.think_per_op as f64).max(1)));
+                ops.push(TxOp::Think(
+                    rng.gen_geometric(st.think_per_op as f64).max(1),
+                ));
             }
         };
 

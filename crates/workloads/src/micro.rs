@@ -69,7 +69,7 @@ pub fn read_mostly(tx_per_node: u32) -> WorkloadParams {
                 write_shared_fraction: 0.0,
                 think_per_op: 12,
                 scan_shared: 0,
-            lead_reads: 0,
+                lead_reads: 0,
             },
             // Occasional writer.
             StaticTxParams {
@@ -81,7 +81,7 @@ pub fn read_mostly(tx_per_node: u32) -> WorkloadParams {
                 write_shared_fraction: 1.0,
                 think_per_op: 8,
                 scan_shared: 0,
-            lead_reads: 0,
+                lead_reads: 0,
             },
         ],
         shared_lines: 32,

@@ -78,10 +78,18 @@ impl WorkloadParams {
     }
 
     pub fn validate(&self) {
-        assert!(!self.static_txs.is_empty(), "{}: no static transactions", self.name);
+        assert!(
+            !self.static_txs.is_empty(),
+            "{}: no static transactions",
+            self.name
+        );
         assert!(self.shared_lines > 0);
         for (i, st) in self.static_txs.iter().enumerate() {
-            assert!(st.weight > 0.0, "{}: static tx {i} has zero weight", self.name);
+            assert!(
+                st.weight > 0.0,
+                "{}: static tx {i} has zero weight",
+                self.name
+            );
             assert!(st.reads.0 <= st.reads.1);
             assert!(st.writes.0 <= st.writes.1);
             assert!((0.0..=1.0).contains(&st.rmw_fraction));

@@ -333,8 +333,9 @@ impl WorkloadId {
     }
 }
 
-/// One row of the paper's Table I.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// One row of the paper's Table I. Serialize-only: the `&'static str` input
+/// description cannot be deserialized into, and nothing reads this back.
+#[derive(Clone, Debug, Serialize)]
 pub struct Table1Row {
     pub workload: WorkloadId,
     /// The paper's benchmark input parameters (verbatim, for the table).
@@ -449,13 +450,15 @@ mod tests {
     #[test]
     fn paper_abort_rates_recorded_faithfully() {
         let rows = table1_rows();
-        let bayes = rows.iter().find(|r| r.workload == WorkloadId::Bayes).unwrap();
+        let bayes = rows
+            .iter()
+            .find(|r| r.workload == WorkloadId::Bayes)
+            .unwrap();
         assert!((bayes.paper_abort_pct - 97.1).abs() < 1e-9);
         for r in &rows {
             assert!(r.expected_abort_band.0 < r.expected_abort_band.1);
             assert!(
-                r.paper_abort_pct >= r.expected_abort_band.0 * 0.0
-                    && r.paper_abort_pct <= 100.0
+                r.paper_abort_pct >= r.expected_abort_band.0 * 0.0 && r.paper_abort_pct <= 100.0
             );
         }
     }

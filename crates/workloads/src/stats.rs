@@ -44,7 +44,9 @@ pub fn characterize(programs: &[NodeProgram], shared_limit: u64) -> ProgramStats
 
     for (node, program) in programs.iter().enumerate() {
         for item in &program.items {
-            let WorkItem::Transaction(tx) = item else { continue };
+            let WorkItem::Transaction(tx) = item else {
+                continue;
+            };
             stats.transactions += 1;
             let mut tx_reads: BTreeSet<LineAddr> = BTreeSet::new();
             for op in &tx.ops {

@@ -63,7 +63,10 @@ fn main() {
             base.htm.abort_rate() * 100.0,
             base.oracle.false_abort_fraction() * 100.0,
             rel(puno.htm.aborts.get(), base.htm.aborts.get()),
-            rel(puno.traffic_router_traversals, base.traffic_router_traversals),
+            rel(
+                puno.traffic_router_traversals,
+                base.traffic_router_traversals
+            ),
         );
     }
     println!("\nSmaller/hotter shared regions -> more read-sharing per line ->");

@@ -32,7 +32,10 @@ fn main() {
             base.htm.aborts.get(),
             puno.htm.aborts.get(),
             ratio(puno.htm.aborts.get(), base.htm.aborts.get()),
-            ratio(puno.traffic_router_traversals, base.traffic_router_traversals),
+            ratio(
+                puno.traffic_router_traversals,
+                base.traffic_router_traversals
+            ),
         );
     }
     println!("\nMore cores sharing the same hot lines -> wider multicasts -> more");

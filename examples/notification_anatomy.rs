@@ -16,7 +16,14 @@ fn main() {
     // 1. TxLB tracking: two static transactions with very different lengths.
     let mut txlb = TxLengthBuffer::paper();
     println!("TxLB tracking (formula (1): new = (prev + sample) / 2)");
-    for (tx, len) in [(0u32, 100u64), (1, 4000), (0, 140), (1, 3600), (0, 120), (1, 4400)] {
+    for (tx, len) in [
+        (0u32, 100u64),
+        (1, 4000),
+        (0, 140),
+        (1, 3600),
+        (0, 120),
+        (1, 4400),
+    ] {
         txlb.record_commit(StaticTxId(tx), len);
         println!(
             "  commit static_tx={tx} len={len:<5} -> estimates: S0={:?} S1={:?}",
@@ -38,7 +45,9 @@ fn main() {
     for elapsed in [0u64, 1000, 2000, 3500, 5000] {
         let t_est = notification_estimate(avg, elapsed);
         let backoff = engine.on_nack(Some(t_est));
-        println!("  nacker elapsed {elapsed:>5} -> T_est {t_est:>5} -> requester sleeps {backoff:>5}");
+        println!(
+            "  nacker elapsed {elapsed:>5} -> T_est {t_est:>5} -> requester sleeps {backoff:>5}"
+        );
     }
     println!("  (fixed polling would retry every 20 cycles regardless)\n");
 
@@ -46,7 +55,11 @@ fn main() {
     let params = WorkloadId::Bayes.params().scaled(0.15);
     let base = run_workload(Mechanism::Baseline, &params, 3);
     let puno = run_workload(Mechanism::Puno, &params, 3);
-    println!("bayes x0.15: baseline retries {} vs PUNO retries {} —", base.htm.retries.get(), puno.htm.retries.get());
+    println!(
+        "bayes x0.15: baseline retries {} vs PUNO retries {} —",
+        base.htm.retries.get(),
+        puno.htm.retries.get()
+    );
     println!(
         "but baseline false-abort victims {} vs PUNO {} ({} notifications guided the waits)",
         base.oracle.false_aborted_transactions,

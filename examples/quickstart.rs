@@ -24,7 +24,10 @@ fn main() {
         });
     let params = workload.params().scaled(scale);
 
-    println!("simulating `{}` (x{scale} scale) on a 4x4-mesh, 16-core CMP...", params.name);
+    println!(
+        "simulating `{}` (x{scale} scale) on a 4x4-mesh, 16-core CMP...",
+        params.name
+    );
     let base = run_workload(Mechanism::Baseline, &params, 42);
     let puno = run_workload(Mechanism::Puno, &params, 42);
 
@@ -34,7 +37,11 @@ fn main() {
         println!("{label:<18}{b:>12.0}{p:>12.0}{delta:>+10.1}%");
     };
     row("commits", base.committed as f64, puno.committed as f64);
-    row("aborts", base.htm.aborts.get() as f64, puno.htm.aborts.get() as f64);
+    row(
+        "aborts",
+        base.htm.aborts.get() as f64,
+        puno.htm.aborts.get() as f64,
+    );
     row(
         "false-abort evts",
         base.oracle.false_abort_episodes as f64,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, the test suite, and a fault-injection
+# smoke sweep (every cell must complete with zero structured failures).
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --offline --workspace -q
+
+echo "== fault smoke (0.05 scale, intensity 1.0) =="
+cargo run --offline --release -q -p puno-harness --bin fault_smoke -- 0.05 1.0 1
+
+echo "CI OK"

@@ -15,7 +15,11 @@ fn run(w: WorkloadId, m: Mechanism) -> RunMetrics {
 fn baseline_exhibits_false_aborting_in_high_contention() {
     // Section II-C: a sizable share of transactional GETX incur false
     // aborting in contended workloads.
-    for w in [WorkloadId::Bayes, WorkloadId::Intruder, WorkloadId::Labyrinth] {
+    for w in [
+        WorkloadId::Bayes,
+        WorkloadId::Intruder,
+        WorkloadId::Labyrinth,
+    ] {
         let m = run(w, Mechanism::Baseline);
         assert!(
             m.oracle.false_abort_fraction() > 0.03,
@@ -100,7 +104,10 @@ fn puno_reduces_directory_blocking() {
             better += 1;
         }
     }
-    assert!(better >= 3, "PUNO should cut blocking in most HC workloads ({better}/4)");
+    assert!(
+        better >= 3,
+        "PUNO should cut blocking in most HC workloads ({better}/4)"
+    );
 }
 
 #[test]
@@ -146,7 +153,11 @@ fn puno_beats_random_backoff_on_execution_time_in_high_contention() {
 fn prediction_accuracy_is_reasonable() {
     for w in [WorkloadId::Bayes, WorkloadId::Intruder] {
         let puno = run(w, Mechanism::Puno);
-        assert!(puno.puno.unicasts.get() > 0, "{}: predictor never engaged", w.name());
+        assert!(
+            puno.puno.unicasts.get() > 0,
+            "{}: predictor never engaged",
+            w.name()
+        );
         assert!(
             puno.puno.accuracy() > 0.5,
             "{}: accuracy {:.2} too low",

@@ -1,69 +1,57 @@
-//! Property-based whole-system tests: random workload shapes and seeds must
-//! never violate the simulator's global invariants.
+//! Randomized whole-system tests: random workload shapes and seeds must
+//! never violate the simulator's global invariants. Shapes are generated
+//! from a fixed-seed `SimRng` (the registryless build cannot use proptest),
+//! so every case is reproducible by its index.
 
-use proptest::prelude::*;
 use puno_repro::prelude::*;
-use puno_repro::sim::LineAddr;
+use puno_repro::sim::{LineAddr, SimRng};
 use puno_repro::workloads::{StaticTxParams, WorkloadParams};
 
-fn arb_params() -> impl Strategy<Value = WorkloadParams> {
-    (
-        1u64..64,    // shared lines
-        0u32..6,     // reads min
-        0u32..4,     // extra reads
-        0u32..3,     // writes min
-        0u32..3,     // extra writes
-        0.0f64..1.0, // rmw fraction
-        0.0f64..1.0, // zipf theta
-        1u64..20,    // think per op
-        0u32..3,     // lead reads
-        2u32..10,    // tx per node
-    )
-        .prop_map(
-            |(lines, r0, dr, w0, dw, rmw, theta, think, lead, txs)| WorkloadParams {
-                name: "prop".into(),
-                static_txs: vec![StaticTxParams {
-                    weight: 1.0,
-                    reads: (r0, r0 + dr),
-                    writes: (w0, w0 + dw),
-                    rmw_fraction: rmw,
-                    read_shared_fraction: 0.9,
-                    write_shared_fraction: 0.9,
-                    think_per_op: think,
-                    scan_shared: 0,
-                    lead_reads: lead,
-                }],
-                shared_lines: lines,
-                zipf_theta: theta,
-                private_lines_per_node: 16,
-                tx_per_node: txs,
-                inter_tx_think: 20,
-                non_tx_accesses: 1,
-            },
-        )
+fn gen_params(rng: &mut SimRng) -> WorkloadParams {
+    let r0 = rng.gen_range(6) as u32;
+    let dr = rng.gen_range(4) as u32;
+    let w0 = rng.gen_range(3) as u32;
+    let dw = rng.gen_range(3) as u32;
+    WorkloadParams {
+        name: "prop".into(),
+        static_txs: vec![StaticTxParams {
+            weight: 1.0,
+            reads: (r0, r0 + dr),
+            writes: (w0, w0 + dw),
+            rmw_fraction: rng.gen_f64(),
+            read_shared_fraction: 0.9,
+            write_shared_fraction: 0.9,
+            think_per_op: 1 + rng.gen_range(19),
+            scan_shared: 0,
+            lead_reads: rng.gen_range(3) as u32,
+        }],
+        shared_lines: 1 + rng.gen_range(63),
+        zipf_theta: rng.gen_f64(),
+        private_lines_per_node: 16,
+        tx_per_node: 2 + rng.gen_range(8) as u32,
+        inter_tx_think: 20,
+        non_tx_accesses: 1,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 40,
-        .. ProptestConfig::default()
-    })]
-
-    /// Any random workload completes under every mechanism with the full
-    /// offered load committed, and committed writes are value-conserving.
-    #[test]
-    fn random_workloads_complete_and_conserve(
-        params in arb_params(),
-        seed in 0u64..1000,
-        mech_idx in 0usize..4,
-    ) {
-        let mechanism = Mechanism::ALL[mech_idx];
+/// Any random workload completes under every mechanism with the full offered
+/// load committed, and committed writes are value-conserving.
+#[test]
+fn random_workloads_complete_and_conserve() {
+    let mut rng = SimRng::new(0x5eed_0006);
+    for case in 0..24 {
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(1000);
+        let mechanism = Mechanism::ALL[rng.gen_range(4) as usize];
         let config = SystemConfig::paper(mechanism);
         let (metrics, memory) = System::new(config, &params, seed).run_full();
 
         // Fixed offered load: every transaction eventually commits.
-        prop_assert_eq!(metrics.committed, 16 * params.tx_per_node as u64);
+        assert_eq!(
+            metrics.committed,
+            16 * params.tx_per_node as u64,
+            "case {case} ({mechanism:?} seed {seed})"
+        );
 
         // Value conservation: every write (tx committed or non-tx) is an
         // increment; aborted increments must have been rolled back. The
@@ -72,38 +60,39 @@ proptest! {
         let shared_sum: u64 = (0..params.shared_lines)
             .map(|i| memory.read(LineAddr(i)))
             .sum();
-        let max_writes = metrics.committed
-            * (params.static_txs[0].writes.1 as u64);
-        prop_assert!(
+        let max_writes = metrics.committed * (params.static_txs[0].writes.1 as u64);
+        assert!(
             shared_sum <= max_writes,
-            "shared sum {} exceeds maximum committed writes {}",
-            shared_sum, max_writes
+            "case {case}: shared sum {shared_sum} exceeds maximum committed writes {max_writes}"
         );
 
-        // Effort accounting is consistent: good + discarded >= commit count
-        // (every commit contributes at least... zero-length txs allowed) and
-        // the abort bookkeeping matches the per-cause split.
-        let causes: u64 = [
-            puno_repro::htm::AbortCause::TxWriteInvalidation,
-            puno_repro::htm::AbortCause::TxReadConflict,
-            puno_repro::htm::AbortCause::NonTxConflict,
-            puno_repro::htm::AbortCause::Capacity,
-        ]
-        .iter()
-        .map(|&c| metrics.htm.aborts_for(c))
-        .sum();
-        prop_assert_eq!(causes, metrics.htm.aborts.get());
+        // Abort bookkeeping matches the per-cause split.
+        let causes: u64 = puno_repro::htm::AbortCause::ALL
+            .iter()
+            .map(|&c| metrics.htm.aborts_for(c))
+            .sum();
+        assert_eq!(causes, metrics.htm.aborts.get(), "case {case}");
     }
+}
 
-    /// Determinism: identical (params, seed, mechanism) yield identical
-    /// metrics.
-    #[test]
-    fn runs_are_reproducible(params in arb_params(), seed in 0u64..100) {
+/// Determinism: identical (params, seed, mechanism) yield identical metrics.
+#[test]
+fn runs_are_reproducible() {
+    let mut rng = SimRng::new(0x5eed_0007);
+    for case in 0..8 {
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(100);
         let a = run_workload(Mechanism::Puno, &params, seed);
         let b = run_workload(Mechanism::Puno, &params, seed);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.htm.aborts.get(), b.htm.aborts.get());
-        prop_assert_eq!(a.traffic_router_traversals, b.traffic_router_traversals);
-        prop_assert_eq!(a.oracle.false_aborted_transactions, b.oracle.false_aborted_transactions);
+        assert_eq!(a.cycles, b.cycles, "case {case}");
+        assert_eq!(a.htm.aborts.get(), b.htm.aborts.get(), "case {case}");
+        assert_eq!(
+            a.traffic_router_traversals, b.traffic_router_traversals,
+            "case {case}"
+        );
+        assert_eq!(
+            a.oracle.false_aborted_transactions, b.oracle.false_aborted_transactions,
+            "case {case}"
+        );
     }
 }

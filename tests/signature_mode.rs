@@ -46,7 +46,10 @@ fn undersized_signatures_manufacture_conflicts() {
     let params = WorkloadId::Bayes.params().scaled(0.1);
     let exact = run_workload(Mechanism::Baseline, &params, 5);
     let sig = puno_repro::harness::run::run_with_config(config_with_sigs(64), &params, 5);
-    assert_eq!(sig.committed, exact.committed, "correctness is unconditional");
+    assert_eq!(
+        sig.committed, exact.committed,
+        "correctness is unconditional"
+    );
     assert!(
         sig.htm.sig_alias_conflicts.get() > 0,
         "64-bit signatures must alias on bayes footprints"
@@ -65,5 +68,8 @@ fn signature_mode_is_deterministic() {
     let a = puno_repro::harness::run::run_with_config(config_with_sigs(256), &params, 7);
     let b = puno_repro::harness::run::run_with_config(config_with_sigs(256), &params, 7);
     assert_eq!(a.cycles, b.cycles);
-    assert_eq!(a.htm.sig_alias_conflicts.get(), b.htm.sig_alias_conflicts.get());
+    assert_eq!(
+        a.htm.sig_alias_conflicts.get(),
+        b.htm.sig_alias_conflicts.get()
+    );
 }

@@ -1,0 +1,635 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the real serde cannot be
+//! fetched. This shim keeps the same surface the workspace relies on — the
+//! `Serialize`/`Deserialize` derive macros and traits — but with a much simpler
+//! internal model: serialization goes through an owned JSON [`Value`] tree
+//! instead of serde's visitor machinery. That is plenty for the workloads here
+//! (metrics snapshots, sweep checkpoints, figure artifacts) and keeps the shim
+//! small enough to audit.
+//!
+//! Representation choices mirror real `serde_json` where it matters:
+//! - newtype structs serialize transparently as their inner value;
+//! - unit enum variants serialize as their name string;
+//! - data-carrying enum variants use external tagging `{"Variant": payload}`;
+//! - maps serialize as arrays of `[key, value]` pairs sorted by encoded key,
+//!   so output is deterministic even for `HashMap` fields.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers. Kept separate from `I64` so `u64` round-trips
+    /// exactly (no detour through f64).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (no hashing, deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error (message-only, like `serde_json::Error`
+/// for the purposes of this workspace).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for a field that is absent from the serialized object. `Option`
+    /// fields default to `None`, which lets old checkpoints load after a new
+    /// optional field is added; everything else is an error.
+    fn from_missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{name}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Look up a named struct field in an object value.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => match v.get(name) {
+            Some(inner) => {
+                T::from_json_value(inner).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => T::from_missing_field(name),
+        },
+        other => Err(Error::custom(format!(
+            "expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Look up a positional element of a tuple (array) value.
+pub fn index<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(items) => match items.get(i) {
+            Some(inner) => {
+                T::from_json_value(inner).map_err(|e| Error::custom(format!("index {i}: {e}")))
+            }
+            None => Err(Error::custom(format!("missing tuple element {i}"))),
+        },
+        other => Err(Error::custom(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON text rendering (shared with the serde_json shim, and used here to give
+// map keys a canonical sort order).
+// ---------------------------------------------------------------------------
+
+/// Render a value as JSON text. `pretty` uses 2-space indentation like
+/// `serde_json::to_string_pretty`.
+pub fn to_json_string(v: &Value, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(v, pretty, 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, pretty: bool, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float formatting; it
+                // always includes a `.` or exponent so the reader keeps the
+                // value a float.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                // Matches serde_json: non-finite floats become null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(level + 1, out);
+                }
+                write_value(item, pretty, level + 1, out);
+            }
+            if pretty {
+                newline_indent(level, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(level + 1, out);
+                }
+                write_string(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, pretty, level + 1, out);
+            }
+            if pretty {
+                newline_indent(level, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(level: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, found {}",
+                        v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, found {}",
+                        v.kind()
+                    )))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", v.kind())))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_json_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                Ok(($(index::<$name>(v, $idx)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Maps serialize as `[[key, value], ...]` sorted by the key's canonical JSON
+/// encoding, so `HashMap` output is deterministic across runs and platforms.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(String, Value, Value)> = entries
+        .map(|(k, v)| {
+            let kv = k.to_json_value();
+            (to_json_string(&kv, false), kv, v.to_json_value())
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(
+        pairs
+            .into_iter()
+            .map(|(_, k, v)| Value::Array(vec![k, v]))
+            .collect(),
+    )
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected map array, found {}", v.kind())))?;
+    items
+        .iter()
+        .map(|pair| {
+            let kv = pair
+                .as_array()
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            if kv.len() != 2 {
+                return Err(Error::custom("expected [key, value] pair"));
+            }
+            Ok((K::from_json_value(&kv[0])?, V::from_json_value(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json_value(&42u64.to_json_value()).unwrap(), 42);
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()).unwrap(), -7);
+        assert_eq!(
+            f64::from_json_value(&0.1f64.to_json_value()).unwrap(),
+            0.1f64
+        );
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let v = Value::Object(vec![]);
+        let got: Option<u64> = field(&v, "absent").unwrap();
+        assert_eq!(got, None);
+        assert!(field::<u64>(&v, "absent").is_err());
+    }
+
+    #[test]
+    fn map_serialization_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert(9u32, 1u32);
+        m.insert(1u32, 2u32);
+        m.insert(5u32, 3u32);
+        let text = to_json_string(&m.to_json_value(), false);
+        assert_eq!(text, "[[1,2],[5,3],[9,1]]");
+        let back: HashMap<u32, u32> = Deserialize::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn float_text_round_trips_shortest() {
+        let text = to_json_string(&(0.30000000000000004f64).to_json_value(), false);
+        assert_eq!(text, "0.30000000000000004");
+    }
+}

@@ -1,0 +1,351 @@
+//! Minimal vendored `serde_derive` replacement.
+//!
+//! The offline build container cannot fetch syn/quote, so this macro parses
+//! the derive input token stream by hand. It supports exactly the shapes this
+//! workspace uses — non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like — and rejects anything else with a
+//! compile error rather than silently mis-serializing. `#[serde(...)]`
+//! attributes are not supported (none exist in the workspace).
+//!
+//! Generated code targets the vendored `serde` shim: `Serialize::to_json_value`
+//! and `Deserialize::from_json_value` over `serde::Value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut toks: Tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        (k, other) => return Err(format!("unsupported item `{k}` body: {other:?}")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// Skip leading attributes (`#[...]`, including doc comments) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens until a comma at angle-bracket depth zero (the end of a field
+/// type or discriminant), consuming the comma.
+fn skip_to_field_end(toks: &mut Tokens) {
+    let mut depth: i32 = 0;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_to_field_end(&mut toks);
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_to_field_end(&mut toks);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an explicit discriminant (`= expr`) and/or the trailing
+        // comma separating variants.
+        skip_to_field_end(&mut toks);
+        variants.push((name, fields));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Named(fields)) => ser_named_object(fields, "self."),
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| ser_variant_arm(name, vname, fields))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_named_object(fields: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn ser_variant_arm(name: &str, vname: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_json_value(f0)".to_string()
+            } else {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        Fields::Named(fnames) => {
+            let payload = ser_named_object(fnames, "");
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                fnames.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Unit) => {
+            format!("let _ = v; ::core::result::Result::Ok({name})")
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::index(v, {i})?"))
+                .collect();
+            format!("::core::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(vname, _)| {
+            format!("{vname:?} => return ::core::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(vname, fields)| {
+            let ctor = match fields {
+                Fields::Unit => return None,
+                Fields::Tuple(1) => {
+                    format!("{name}::{vname}(::serde::Deserialize::from_json_value(payload)?)")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::index(payload, {i})?"))
+                        .collect();
+                    format!("{name}::{vname}({})", inits.join(", "))
+                }
+                Fields::Named(fnames) => {
+                    let inits: Vec<String> = fnames
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(payload, {f:?})?"))
+                        .collect();
+                    format!("{name}::{vname} {{ {} }}", inits.join(", "))
+                }
+            };
+            Some(format!(
+                "{vname:?} => return ::core::result::Result::Ok({ctor}),"
+            ))
+        })
+        .collect();
+
+    let mut body = String::new();
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::Value::Str(s) = v {{ match s.as_str() {{ {} _ => {{}} }} }}",
+            unit_arms.join(" ")
+        ));
+    }
+    if !data_arms.is_empty() {
+        body.push_str(&format!(
+            " if let ::serde::Value::Object(pairs) = v {{\
+               if pairs.len() == 1 {{\
+                 let (tag, payload) = &pairs[0];\
+                 match tag.as_str() {{ {} _ => {{}} }}\
+               }}\
+             }}",
+            data_arms.join(" ")
+        ));
+    }
+    format!(
+        "{body} ::core::result::Result::Err(::serde::Error::custom(\
+         \"invalid value for enum {name}\"))"
+    )
+}
