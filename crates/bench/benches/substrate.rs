@@ -1,11 +1,23 @@
 //! Microbenchmarks of the simulation substrate: the event queue, the NoC,
-//! the directory state machine, and the PUNO predictor structures. These pin
+//! the directory state machine, the PUNO predictor structures, and an
+//! end-to-end `system/throughput` run per low-contention workload. These pin
 //! the cost of the building blocks so regressions in simulator throughput are
 //! caught separately from changes in simulated behaviour.
 //!
 //! Criterion is unavailable in the registryless build, so this is a plain
 //! `harness = false` timing binary: each benchmark is warmed up once and then
 //! timed over a fixed iteration count.
+//!
+//! Environment knobs (all optional, used by `scripts/bench.sh` / `ci.sh`):
+//!
+//! - `BENCH_SUBSTRATE_ITERS`: `smoke` shrinks every iteration count ~20x for
+//!   CI, or a float multiplier (e.g. `0.1`, `2.0`) scales them.
+//! - `BENCH_SUBSTRATE_JSON`: write a flat `{"name": us_per_iter, ...}`
+//!   machine-readable result file to this path.
+//! - `BENCH_SUBSTRATE_BASELINE`: compare against a previously written JSON
+//!   file and exit non-zero if any benchmark is >25% slower.
+//! - `PUNO_BENCH_ALLOW_REGRESSION=1`: demote a baseline regression to a
+//!   warning (for noisy/shared containers).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -15,22 +27,110 @@ use puno_coherence::msg::{CoherenceMsg, TxInfo};
 use puno_coherence::predictor::NullPredictor;
 use puno_coherence::sharers::SharerSet;
 use puno_core::{PBuffer, PunoConfig, PunoPredictor, TxLengthBuffer};
+use puno_harness::{Mechanism, SystemConfig};
 use puno_noc::{Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS};
 use puno_sim::{EventQueue, LineAddr, NodeId, SimRng, StaticTxId, Timestamp, TxId};
+use puno_workloads::WorkloadId;
 
-fn bench(name: &str, iters: u64, mut f: impl FnMut() -> u64) {
-    let mut sink = 0u64;
-    sink = sink.wrapping_add(f()); // warm-up
-    let start = Instant::now();
-    for _ in 0..iters {
-        sink = sink.wrapping_add(f());
-    }
-    let per_iter = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
-    println!("{name:<44} {per_iter:>12.3} us/iter   (sink {sink:x})");
+/// Allowed slowdown against the checked-in baseline before CI fails.
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+struct Harness {
+    scale: f64,
+    results: Vec<(String, f64)>,
 }
 
-fn bench_event_queue() {
-    bench("event_queue/schedule_pop_1k", 500, || {
+impl Harness {
+    fn new() -> Self {
+        let scale = match std::env::var("BENCH_SUBSTRATE_ITERS").ok().as_deref() {
+            Some("smoke") => 0.05,
+            Some(s) => s.parse().unwrap_or(1.0),
+            None => 1.0,
+        };
+        Self {
+            scale,
+            results: Vec::new(),
+        }
+    }
+
+    fn iters(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale) as u64).max(1)
+    }
+
+    fn bench(&mut self, name: &str, base_iters: u64, mut f: impl FnMut() -> u64) -> f64 {
+        let iters = self.iters(base_iters);
+        let mut sink = 0u64;
+        // Warm-up pass, then best of three timed repetitions: scheduler and
+        // frequency interference only ever slows a run down, so the minimum
+        // is the stable estimate (keeps the 25% CI gate from flaking on
+        // shared machines).
+        sink = sink.wrapping_add(f());
+        let mut per_iter = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                sink = sink.wrapping_add(f());
+            }
+            per_iter = per_iter.min(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+        }
+        println!("{name:<44} {per_iter:>12.3} us/iter   (sink {sink:x})");
+        self.results.push((name.to_string(), per_iter));
+        per_iter
+    }
+
+    fn write_json(&self, path: &str) {
+        let mut out = String::from("{\n");
+        for (i, (name, us)) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!("  {name:?}: {us:.3}{comma}\n"));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    /// Compare against a baseline JSON (flat name -> us/iter map). Returns
+    /// the regression report lines (empty = clean).
+    fn compare_baseline(&self, path: &str) -> Vec<String> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse_flat_json(&text);
+        let mut regressions = Vec::new();
+        for (name, us) in &self.results {
+            let Some(base) = baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v) else {
+                continue; // new benchmark, nothing to compare
+            };
+            let ratio = us / base;
+            if ratio > REGRESSION_TOLERANCE {
+                regressions.push(format!(
+                    "{name}: {us:.3} us/iter vs baseline {base:.3} ({:.0}% slower)",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        regressions
+    }
+}
+
+/// Parse the flat `{"name": number, ...}` files this binary writes. Not a
+/// general JSON parser — just enough for round-tripping our own output.
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    h.bench("event_queue/schedule_pop_1k", 500, || {
         let mut q = EventQueue::new();
         for i in 0..1000u64 {
             q.schedule_at(i % 97, i);
@@ -41,11 +141,29 @@ fn bench_event_queue() {
         }
         black_box(sum)
     });
+    // The dominant simulator pattern: a rolling window of near-future
+    // (now+1 .. now+8) schedules, popped as the clock advances.
+    h.bench("event_queue/rolling_near_future_4k", 500, || {
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.schedule_at(i % 8, i);
+        }
+        let mut sum = 0u64;
+        let mut popped = 0u32;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+            popped += 1;
+            if popped < 4096 {
+                q.schedule_in(1 + (v % 8), v.wrapping_mul(31));
+            }
+        }
+        black_box(sum)
+    });
 }
 
-fn bench_noc() {
+fn bench_noc(h: &mut Harness) {
     let mut rng = SimRng::new(7);
-    bench("noc/uniform_random_256_packets", 200, move || {
+    h.bench("noc/uniform_random_256_packets", 200, move || {
         let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
         for i in 0..256u32 {
             let src = NodeId(rng.gen_range(16) as u16);
@@ -60,10 +178,32 @@ fn bench_noc() {
         }
         black_box(delivered)
     });
+    // The low-contention shape the occupancy structure targets: one packet
+    // in flight at a time through an otherwise idle mesh.
+    h.bench("noc/single_packet_in_flight", 2_000, move || {
+        let mut net: Network<u32> = Network::new(Mesh::paper(), NocConfig::default());
+        let mut now = 0;
+        let mut delivered = 0u64;
+        for i in 0..32u32 {
+            net.inject(
+                now,
+                NodeId((i % 16) as u16),
+                NodeId(((i * 7) % 16) as u16),
+                VirtualNetwork::Request,
+                CONTROL_FLITS,
+                i,
+            );
+            while !net.is_idle() {
+                delivered += net.step(now).len() as u64;
+                now += 1;
+            }
+        }
+        black_box(delivered)
+    });
 }
 
-fn bench_directory() {
-    bench("directory/gets_getx_unblock_cycle", 20_000, || {
+fn bench_directory(h: &mut Harness) {
+    h.bench("directory/gets_getx_unblock_cycle", 20_000, || {
         let mut bank = DirectoryBank::new(NodeId(0), DirConfig::default());
         let mut p = NullPredictor;
         let info = TxInfo {
@@ -99,13 +239,13 @@ fn bench_directory() {
     });
 }
 
-fn bench_pbuffer() {
+fn bench_pbuffer(h: &mut Harness) {
     let mut pb = PBuffer::new(16);
     for i in 0..16u16 {
         pb.update(NodeId(i), Timestamp(i as u64 * 10));
     }
     let holders: Vec<NodeId> = (0..16).map(NodeId).collect();
-    bench("pbuffer/update_and_ud_scan", 100_000, move || {
+    h.bench("pbuffer/update_and_ud_scan", 100_000, move || {
         pb.update(NodeId(3), Timestamp(black_box(42)));
         black_box(
             pb.highest_priority_among(holders.iter().copied())
@@ -115,7 +255,7 @@ fn bench_pbuffer() {
     });
 }
 
-fn bench_predictor() {
+fn bench_predictor(h: &mut Harness) {
     use puno_coherence::UnicastPredictor;
     let mut p = PunoPredictor::new(PunoConfig::default());
     let info = |ts| TxInfo {
@@ -128,7 +268,7 @@ fn bench_predictor() {
         p.observe_request(0, NodeId(i), &info(i as u64 * 100 + 10));
     }
     let holders: SharerSet = (1..8u16).map(NodeId).collect();
-    bench("puno_predictor/predict_unicast", 100_000, move || {
+    h.bench("puno_predictor/predict_unicast", 100_000, move || {
         black_box(
             p.predict_unicast(
                 black_box(50),
@@ -144,21 +284,67 @@ fn bench_predictor() {
     });
 }
 
-fn bench_txlb() {
+fn bench_txlb(h: &mut Harness) {
     let mut txlb = TxLengthBuffer::paper();
     let mut i = 0u32;
-    bench("txlb/record_and_estimate", 100_000, move || {
+    h.bench("txlb/record_and_estimate", 100_000, move || {
         txlb.record_commit(StaticTxId(i % 8), 100 + (i as u64 % 50));
         i += 1;
         black_box(txlb.estimate(StaticTxId(i % 8)).unwrap_or(0))
     });
 }
 
+/// End-to-end simulator throughput: whole-system runs of the low-contention
+/// STAMP workloads where idle-scan overhead dominates (the ISSUE 2 target
+/// of at least 2x simulated cycles/sec). Also reported as us/iter so the
+/// baseline comparison treats it like every other benchmark.
+fn bench_system_throughput(h: &mut Harness) {
+    for workload in [WorkloadId::Genome, WorkloadId::Kmeans, WorkloadId::Ssca2] {
+        let params = workload.params().scaled(0.05);
+        let name = format!("system/throughput/{}", workload.name());
+        let mut sim_cycles = 0u64;
+        let us = h.bench(&name, 12, || {
+            let config = SystemConfig::paper(Mechanism::Baseline);
+            let m = puno_harness::System::new(config, &params, 1).run();
+            sim_cycles = m.cycles;
+            black_box(m.cycles ^ m.committed)
+        });
+        let cycles_per_sec = sim_cycles as f64 / (us / 1e6);
+        println!(
+            "{:<44} {:>12.3} Msim-cycles/s",
+            format!("{name} (rate)"),
+            cycles_per_sec / 1e6
+        );
+    }
+}
+
 fn main() {
-    bench_event_queue();
-    bench_noc();
-    bench_directory();
-    bench_pbuffer();
-    bench_predictor();
-    bench_txlb();
+    let mut h = Harness::new();
+    bench_event_queue(&mut h);
+    bench_noc(&mut h);
+    bench_directory(&mut h);
+    bench_pbuffer(&mut h);
+    bench_predictor(&mut h);
+    bench_txlb(&mut h);
+    bench_system_throughput(&mut h);
+
+    if let Ok(path) = std::env::var("BENCH_SUBSTRATE_JSON") {
+        h.write_json(&path);
+    }
+    if let Ok(path) = std::env::var("BENCH_SUBSTRATE_BASELINE") {
+        let regressions = h.compare_baseline(&path);
+        if regressions.is_empty() {
+            println!("baseline check OK ({path})");
+        } else {
+            eprintln!("benchmark regressions vs {path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            if std::env::var("PUNO_BENCH_ALLOW_REGRESSION").is_ok() {
+                eprintln!("PUNO_BENCH_ALLOW_REGRESSION set: continuing despite regressions");
+            } else {
+                std::process::exit(1);
+            }
+        }
+    }
 }

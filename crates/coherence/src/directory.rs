@@ -179,6 +179,9 @@ impl DirectoryBank {
     }
 
     /// Process a message addressed to this home bank.
+    ///
+    /// Allocation-per-call wrapper over [`DirectoryBank::handle_into`]; hot
+    /// loops should hold a reusable scratch buffer and call that directly.
     pub fn handle<P: UnicastPredictor>(
         &mut self,
         now: Cycle,
@@ -186,17 +189,46 @@ impl DirectoryBank {
         predictor: &mut P,
     ) -> Vec<DirAction> {
         let mut actions = Vec::new();
-        self.dispatch(now, msg, predictor, &mut actions);
+        self.handle_into(now, msg, predictor, &mut actions);
         actions
     }
 
+    /// Process a message addressed to this home bank, appending the
+    /// resulting actions to `actions` (not cleared: the caller owns the
+    /// buffer lifecycle) in the same deterministic order [`Self::handle`]
+    /// returns them.
+    pub fn handle_into<P: UnicastPredictor>(
+        &mut self,
+        now: Cycle,
+        msg: CoherenceMsg,
+        predictor: &mut P,
+        actions: &mut Vec<DirAction>,
+    ) {
+        self.dispatch(now, msg, predictor, actions);
+    }
+
     /// Memory fetch for `addr` finished: grant data to the waiting requester.
+    ///
+    /// Allocation-per-call wrapper over [`DirectoryBank::mem_ready_into`].
     pub fn mem_ready<P: UnicastPredictor>(
+        &mut self,
+        now: Cycle,
+        addr: LineAddr,
+        predictor: &mut P,
+    ) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        self.mem_ready_into(now, addr, predictor, &mut actions);
+        actions
+    }
+
+    /// Memory fetch completion, emitting into a caller-provided buffer.
+    pub fn mem_ready_into<P: UnicastPredictor>(
         &mut self,
         _now: Cycle,
         addr: LineAddr,
         _predictor: &mut P,
-    ) -> Vec<DirAction> {
+        actions: &mut Vec<DirAction>,
+    ) {
         let entry = self
             .entries
             .get_mut(&addr)
@@ -216,7 +248,7 @@ impl DirectoryBank {
             BusyKind::GrantS { exclusive: true }
         };
         let requester = busy.requester;
-        vec![DirAction::Send {
+        actions.push(DirAction::Send {
             dst: requester,
             msg: CoherenceMsg::Data {
                 addr,
@@ -226,7 +258,7 @@ impl DirectoryBank {
                 owner_kept: false,
             },
             delay: 0,
-        }]
+        });
     }
 
     fn dispatch<P: UnicastPredictor>(

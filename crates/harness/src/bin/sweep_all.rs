@@ -1,7 +1,7 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
 //! Usage: sweep_all [scale] [seed]
 
-use puno_harness::report::{FigureMetric, NormalizedFigure};
+use puno_harness::report::{render_host_perf, FigureMetric, NormalizedFigure};
 use puno_harness::sweep::sweep;
 use puno_harness::Mechanism;
 use puno_workloads::{table1_rows, WorkloadId};
@@ -50,4 +50,5 @@ fn main() {
         let fig = NormalizedFigure::build(metric, &results, &WorkloadId::ALL, &Mechanism::ALL);
         println!("\n{}", fig.render());
     }
+    println!("{}", render_host_perf(&results));
 }

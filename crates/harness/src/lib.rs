@@ -25,7 +25,7 @@ pub use config::SystemConfig;
 pub use error::RunError;
 pub use mechanism::Mechanism;
 pub use memory::MemoryImage;
-pub use metrics::RunMetrics;
+pub use metrics::{HostPerf, RunMetrics};
 pub use oracle::FalseAbortOracle;
 pub use run::{run_workload, run_workload_with_faults, try_run_workload};
 pub use sweep::{sweep, SweepResult};

@@ -9,6 +9,41 @@ use puno_noc::TrafficStats;
 use puno_sim::FaultStats;
 use serde::{Deserialize, Serialize};
 
+/// Host-side simulator-throughput counters for one run. Everything in here
+/// describes how fast the *simulator* ran, not what the simulated machine
+/// did, so it varies across hosts and runs — it is excluded from
+/// [`RunMetrics::deterministic`] and must never feed a simulated-behaviour
+/// assertion.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostPerf {
+    /// Wall-clock spent inside the run loop, in seconds.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Events popped and dispatched by the run loop.
+    pub events_dispatched: u64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Maximum event-queue depth observed before any pop.
+    pub peak_queue_depth: u64,
+    /// Fraction of (router x step) slots the NoC actually visited: 1.0 means
+    /// every router was scanned every network cycle (the old full-scan
+    /// behaviour); low values mean the occupancy structure is skipping idle
+    /// routers.
+    pub noc_active_scan_ratio: f64,
+}
+
+impl HostPerf {
+    /// Derive the per-second rates from the raw totals.
+    pub fn finish(mut self, sim_cycles: u64) -> Self {
+        if self.wall_secs > 0.0 {
+            self.sim_cycles_per_sec = sim_cycles as f64 / self.wall_secs;
+            self.events_per_sec = self.events_dispatched as f64 / self.wall_secs;
+        }
+        self
+    }
+}
+
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunMetrics {
     pub workload: String,
@@ -36,6 +71,8 @@ pub struct RunMetrics {
     pub faults: FaultStats,
     /// Committed transactions (sanity: nodes x tx_per_node).
     pub committed: u64,
+    /// Host-side simulator throughput (non-deterministic; see [`HostPerf`]).
+    pub host: HostPerf,
 }
 
 impl RunMetrics {
@@ -52,6 +89,7 @@ impl RunMetrics {
         oracle: FalseAbortOracle,
         puno: PunoStats,
         faults: FaultStats,
+        host: HostPerf,
     ) -> Self {
         let committed = htm.commits.get();
         Self {
@@ -69,7 +107,17 @@ impl RunMetrics {
             puno,
             faults,
             committed,
+            host,
         }
+    }
+
+    /// The run viewed without its host-side throughput counters: everything
+    /// left is a pure function of (workload, mechanism, seed, config) and is
+    /// what the golden-snapshot bit-identity tests compare.
+    pub fn deterministic(&self) -> RunMetrics {
+        let mut m = self.clone();
+        m.host = HostPerf::default();
+        m
     }
 
     /// Aborts per committed transaction — scale-free contention measure.
@@ -110,6 +158,7 @@ mod tests {
             FalseAbortOracle::default(),
             PunoStats::default(),
             FaultStats::default(),
+            HostPerf::default(),
         );
         assert_eq!(m.committed, 2);
         assert!((m.aborts_per_commit() - 0.5).abs() < 1e-12);

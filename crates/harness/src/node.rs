@@ -36,6 +36,9 @@ pub struct Effects {
     /// An armed spurious-NACK fault actually fired on this forward (the
     /// system keeps the per-kind fault accounting).
     pub injected_nack: bool,
+    /// A transaction committed during this step (the system maintains a
+    /// running commit total for its watchdog progress marker).
+    pub committed: bool,
 }
 
 impl Effects {
@@ -326,6 +329,7 @@ impl NodeState {
             self.pc += 1;
             self.op_idx = 0;
             let mut eff = Effects::default().wake(now + self.commit_latency);
+            eff.committed = true;
             self.drain_wakeup_hints(&mut eff);
             eff
         }

@@ -210,6 +210,41 @@ impl NormalizedFigure {
     }
 }
 
+/// Per-cell simulator throughput table: host wall-clock and event rates for
+/// every (workload, mechanism) cell of a sweep. These are *host-side*
+/// observability numbers (how fast the simulator itself ran), not simulated
+/// results — they vary run to run and are excluded from golden comparisons.
+pub fn render_host_perf(results: &[SweepResult]) -> String {
+    let mut out = String::new();
+    out.push_str("simulator throughput (host-side, per cell)\n");
+    out.push_str(&format!(
+        "{:<12}{:<10}{:>10}{:>14}{:>14}{:>12}{:>10}\n",
+        "workload", "mech", "wall-s", "Mcycles/s", "Mevents/s", "peak-queue", "scan%"
+    ));
+    for r in results {
+        let h = &r.metrics.host;
+        out.push_str(&format!(
+            "{:<12}{:<10}{:>10.3}{:>14.3}{:>14.3}{:>12}{:>10.1}\n",
+            r.workload.name(),
+            r.mechanism.name(),
+            h.wall_secs,
+            h.sim_cycles_per_sec / 1e6,
+            h.events_per_sec / 1e6,
+            h.peak_queue_depth,
+            h.noc_active_scan_ratio * 100.0,
+        ));
+    }
+    let wall: f64 = results.iter().map(|r| r.metrics.host.wall_secs).sum();
+    let events: u64 = results
+        .iter()
+        .map(|r| r.metrics.host.events_dispatched)
+        .sum();
+    out.push_str(&format!(
+        "total: {wall:.3}s host wall-clock, {events} events dispatched\n"
+    ));
+    out
+}
+
 /// Geometric mean of positive values (empty -> 1.0).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -250,6 +285,7 @@ mod tests {
                 FalseAbortOracle::default(),
                 PunoStats::default(),
                 puno_sim::FaultStats::default(),
+                crate::metrics::HostPerf::default(),
             ),
         }
     }
@@ -302,6 +338,31 @@ mod tests {
     fn geomean_of_known_values() {
         assert!((geomean(&[0.25, 1.0]) - 0.5).abs() < 1e-12);
         assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn host_perf_table_lists_every_cell() {
+        let mut results = vec![
+            fake(WorkloadId::Bayes, Mechanism::Baseline, 100, 1000),
+            fake(WorkloadId::Bayes, Mechanism::Puno, 50, 900),
+        ];
+        results[0].metrics.host = crate::metrics::HostPerf {
+            wall_secs: 2.0,
+            events_dispatched: 4_000_000,
+            peak_queue_depth: 37,
+            noc_active_scan_ratio: 0.125,
+            ..Default::default()
+        }
+        .finish(1000);
+        let text = render_host_perf(&results);
+        assert!(text.contains("bayes"));
+        assert!(text.contains("puno"));
+        assert!(text.contains("37"), "peak queue depth column: {text}");
+        assert!(text.contains("12.5"), "scan ratio as percent: {text}");
+        assert!(
+            text.contains("4000000 events dispatched"),
+            "total line: {text}"
+        );
     }
 
     #[test]

@@ -135,6 +135,19 @@ pub struct System {
     /// marker (commits + retired nodes) captured at the previous sample.
     watchdog_next: Cycle,
     watchdog_last: u64,
+    /// Running total of transaction commits, maintained by `apply_effects`
+    /// so the watchdog's progress marker is O(1) instead of an all-nodes
+    /// stats sum.
+    progress_commits: u64,
+    /// Reused scratch for directory action emission (kept empty between
+    /// events; taken/restored around each directory call).
+    dir_scratch: Vec<DirAction>,
+    /// Reused scratch for per-cycle network deliveries.
+    delivery_scratch: Vec<(NodeId, CoherenceMsg)>,
+    /// Host-side throughput accounting (never affects simulated behaviour).
+    events_dispatched: u64,
+    peak_queue_depth: usize,
+    host_wall_secs: f64,
 }
 
 impl System {
@@ -142,7 +155,9 @@ impl System {
     pub fn new(config: SystemConfig, params: &WorkloadParams, seed: u64) -> Self {
         let nodes_n = config.nodes();
         let root_rng = SimRng::new(seed);
-        let mut queue = EventQueue::new();
+        // Steady state holds roughly one wake per node plus in-flight
+        // protocol events; pre-size so the hot loop never grows the queue.
+        let mut queue = EventQueue::with_capacity(4 * nodes_n as usize);
         let mut nodes = Vec::with_capacity(nodes_n as usize);
         for i in 0..nodes_n {
             let id = NodeId(i);
@@ -208,6 +223,12 @@ impl System {
             last_cycle: 0,
             watchdog_next: config.watchdog_window,
             watchdog_last: 0,
+            progress_commits: 0,
+            dir_scratch: Vec::with_capacity(8),
+            delivery_scratch: Vec::with_capacity(nodes_n as usize),
+            events_dispatched: 0,
+            peak_queue_depth: 0,
+            host_wall_secs: 0.0,
             config,
         }
     }
@@ -262,6 +283,7 @@ impl System {
     /// panicking on the first violation.
     pub fn run_checked(mut self, lines: &[LineAddr], every: u64) -> (RunMetrics, MemoryImage) {
         assert!(every > 0);
+        let t0 = std::time::Instant::now();
         let mut events = 0u64;
         loop {
             match self.step_once() {
@@ -279,6 +301,7 @@ impl System {
                 );
             }
         }
+        self.host_wall_secs += t0.elapsed().as_secs_f64();
         let memory = std::mem::take(&mut self.memory);
         (self.finalize(), memory)
     }
@@ -294,12 +317,16 @@ impl System {
             Event::NetStep => self.on_net_step(now),
             Event::DirSend { home, dst, msg } => self.inject(now, home, dst, msg),
             Event::MemReady { home, addr } => {
-                let actions = self.dirs[home.index()].mem_ready(
+                let mut actions = std::mem::take(&mut self.dir_scratch);
+                debug_assert!(actions.is_empty(), "dir scratch reentered");
+                self.dirs[home.index()].mem_ready_into(
                     now,
                     addr,
                     &mut self.predictors[home.index()],
+                    &mut actions,
                 );
-                self.apply_dir_actions(now, home, actions);
+                self.apply_dir_actions(now, home, &mut actions);
+                self.dir_scratch = actions;
             }
             Event::FaultedInject { src, dst, msg } => self.inject_now(now, src, dst, msg),
             Event::Fault {
@@ -386,22 +413,48 @@ impl System {
     }
 
     fn run_loop(&mut self) -> Result<(), RunError> {
-        while self.step_once()? {}
-        Ok(())
+        let t0 = std::time::Instant::now();
+        let result = self.run_loop_inner();
+        self.host_wall_secs += t0.elapsed().as_secs_f64();
+        result
     }
 
-    /// Pop and dispatch one event. Returns `Ok(false)` once every node has
-    /// retired, `Ok(true)` if more events remain, and a structured error on
-    /// deadlock (drained queue), livelock (`max_cycles` exceeded), or a
-    /// stalled forward-progress watchdog window.
-    fn step_once(&mut self) -> Result<bool, RunError> {
-        if self.nodes_done >= self.nodes.len() {
-            return Ok(false);
+    /// The hot loop: batch-pop every event of the earliest cycle and
+    /// dispatch in `(cycle, seq)` order. Per-event this is observably
+    /// identical to popping one at a time — the guards (max_cycles,
+    /// watchdog) depend only on `now`, which is shared by the whole batch,
+    /// and events scheduled mid-batch land at later seqs so the next
+    /// `pop_cycle_into` picks them up in exactly the one-at-a-time order.
+    fn run_loop_inner(&mut self) -> Result<(), RunError> {
+        let mut batch: Vec<Event> = Vec::with_capacity(2 * self.nodes.len());
+        loop {
+            if self.nodes_done >= self.nodes.len() {
+                return Ok(());
+            }
+            let depth = self.queue.len();
+            if depth > self.peak_queue_depth {
+                self.peak_queue_depth = depth;
+            }
+            let Some(now) = self.queue.pop_cycle_into(&mut batch) else {
+                return Err(self.deadlock_error());
+            };
+            self.last_cycle = now;
+            self.guards(now)?;
+            for event in batch.drain(..) {
+                if self.nodes_done >= self.nodes.len() {
+                    // The run is over; one-at-a-time popping would never
+                    // have dispatched the rest of this cycle either.
+                    break;
+                }
+                self.events_dispatched += 1;
+                self.dispatch_event(now, event);
+            }
         }
-        let Some((now, event)) = self.queue.pop() else {
-            return Err(self.deadlock_error());
-        };
-        self.last_cycle = now;
+    }
+
+    /// The livelock guards shared by the batch loop and `step_once`:
+    /// max-cycles ceiling and the forward-progress watchdog.
+    fn guards(&mut self, now: Cycle) -> Result<(), RunError> {
         if now >= self.config.max_cycles {
             return Err(self.livelock_error(now, self.config.max_cycles));
         }
@@ -413,16 +466,45 @@ impl System {
             self.watchdog_last = marker;
             self.watchdog_next = now + self.config.watchdog_window;
         }
+        Ok(())
+    }
+
+    /// Pop and dispatch one event. Returns `Ok(false)` once every node has
+    /// retired, `Ok(true)` if more events remain, and a structured error on
+    /// deadlock (drained queue), livelock (`max_cycles` exceeded), or a
+    /// stalled forward-progress watchdog window. Used by the invariant-
+    /// scanning runner; the plain run paths use the batched loop.
+    fn step_once(&mut self) -> Result<bool, RunError> {
+        if self.nodes_done >= self.nodes.len() {
+            return Ok(false);
+        }
+        let depth = self.queue.len();
+        if depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
+        }
+        let Some((now, event)) = self.queue.pop() else {
+            return Err(self.deadlock_error());
+        };
+        self.last_cycle = now;
+        self.guards(now)?;
+        self.events_dispatched += 1;
         self.dispatch_event(now, event);
         Ok(true)
     }
 
     /// Monotone system-wide progress measure sampled by the watchdog:
     /// total commits plus retired nodes (so post-commit drain phases still
-    /// count as progress).
+    /// count as progress). O(1): `apply_effects` maintains the commit total.
     fn progress_marker(&self) -> u64 {
-        let commits: u64 = self.nodes.iter().map(|n| n.htm.stats().commits.get()).sum();
-        commits + self.nodes_done as u64
+        debug_assert_eq!(
+            self.progress_commits,
+            self.nodes
+                .iter()
+                .map(|n| n.htm.stats().commits.get())
+                .sum::<u64>(),
+            "running commit counter diverged from per-node stats"
+        );
+        self.progress_commits + self.nodes_done as u64
     }
 
     /// Render who-waits-on-whom over nacked lines, for failure diagnostics.
@@ -516,15 +598,17 @@ impl System {
     }
 
     fn on_net_step(&mut self, now: Cycle) {
-        let delivered = self.network.step(now);
+        let mut delivered = std::mem::take(&mut self.delivery_scratch);
+        self.network.step_into(now, &mut delivered);
         if self.network.is_idle() {
             self.net_step_armed = false;
         } else {
             self.queue.schedule_at(now + 1, Event::NetStep);
         }
-        for (dst, msg) in delivered {
+        for (dst, msg) in delivered.drain(..) {
             self.deliver(now, dst, msg);
         }
+        self.delivery_scratch = delivered;
     }
 
     fn deliver(&mut self, now: Cycle, dst: NodeId, msg: CoherenceMsg) {
@@ -542,9 +626,16 @@ impl System {
                     puno_coherence::home_node(msg.addr(), self.config.nodes()),
                     "directory message delivered to a non-home node"
                 );
-                let actions =
-                    self.dirs[dst.index()].handle(now, msg, &mut self.predictors[dst.index()]);
-                self.apply_dir_actions(now, dst, actions);
+                let mut actions = std::mem::take(&mut self.dir_scratch);
+                debug_assert!(actions.is_empty(), "dir scratch reentered");
+                self.dirs[dst.index()].handle_into(
+                    now,
+                    msg,
+                    &mut self.predictors[dst.index()],
+                    &mut actions,
+                );
+                self.apply_dir_actions(now, dst, &mut actions);
+                self.dir_scratch = actions;
             }
             // Forwards to sharers/owners.
             CoherenceMsg::Inv { .. }
@@ -576,8 +667,10 @@ impl System {
         }
     }
 
-    fn apply_dir_actions(&mut self, now: Cycle, home: NodeId, actions: Vec<DirAction>) {
-        for action in actions {
+    /// Apply and drain directory actions (the buffer is the caller's
+    /// reusable scratch; it comes back empty).
+    fn apply_dir_actions(&mut self, now: Cycle, home: NodeId, actions: &mut Vec<DirAction>) {
+        for action in actions.drain(..) {
             match action {
                 DirAction::Send { dst, msg, delay } => {
                     if delay == 0 {
@@ -603,6 +696,9 @@ impl System {
             let epoch = self.nodes[node.index()].epoch;
             self.queue
                 .schedule_at(at.max(now), Event::NodeWake { node, epoch });
+        }
+        if eff.committed {
+            self.progress_commits += 1;
         }
         if eff.injected_nack {
             // Recorded at application time: the one-shot arm only counts
@@ -680,6 +776,14 @@ impl System {
             self.oracle,
             puno,
             self.fault.stats.clone(),
+            crate::metrics::HostPerf {
+                wall_secs: self.host_wall_secs,
+                events_dispatched: self.events_dispatched,
+                peak_queue_depth: self.peak_queue_depth as u64,
+                noc_active_scan_ratio: self.network.active_scan_ratio(),
+                ..Default::default()
+            }
+            .finish(self.finish_cycle),
         )
     }
 }

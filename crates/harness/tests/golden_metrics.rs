@@ -1,0 +1,83 @@
+//! Bit-identity regression guard for the simulation hot loop.
+//!
+//! Every STAMP-signature workload x {baseline, PUNO} at a fixed seed is run
+//! end to end and its deterministic `RunMetrics` view (host-side throughput
+//! counters zeroed) is serialized and compared byte-for-byte against a
+//! committed golden snapshot. Any rewrite of the event queue, the NoC
+//! stepping, the directory emit path, or the system loop that changes
+//! simulated behaviour — even by one abort or one flit — fails here.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! PUNO_BLESS_GOLDEN=1 cargo test -p puno-harness --test golden_metrics
+//! ```
+//!
+//! and commit the updated files with a justification in the PR description.
+
+use puno_harness::run::run_workload;
+use puno_harness::Mechanism;
+use puno_workloads::WorkloadId;
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_SCALE: f64 = 0.05;
+
+fn golden_path(workload: WorkloadId, mechanism: Mechanism) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.json", workload.name(), mechanism.name()))
+}
+
+#[test]
+fn run_metrics_match_golden_snapshots() {
+    let bless = std::env::var("PUNO_BLESS_GOLDEN").is_ok();
+    let mut mismatches = Vec::new();
+    for &workload in &WorkloadId::ALL {
+        let params = workload.params().scaled(GOLDEN_SCALE);
+        for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+            let metrics = run_workload(mechanism, &params, GOLDEN_SEED);
+            let got =
+                serde_json::to_string(&metrics.deterministic()).expect("RunMetrics must serialize");
+            let path = golden_path(workload, mechanism);
+            if bless {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, format!("{got}\n")).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden snapshot {path:?} ({e}); \
+                     regenerate with PUNO_BLESS_GOLDEN=1"
+                )
+            });
+            if want.trim_end() != got {
+                mismatches.push(format!(
+                    "{}/{}: metrics diverged from {path:?}",
+                    workload.name(),
+                    mechanism.name()
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "bit-identity broken for {} cell(s):\n  {}\n\
+         If the behaviour change is intentional, re-bless with \
+         PUNO_BLESS_GOLDEN=1 and explain why in the PR.",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+/// The snapshots themselves must not depend on which host ran them: the
+/// deterministic view zeroes every host-side counter.
+#[test]
+fn deterministic_view_zeroes_host_perf() {
+    let params = WorkloadId::Ssca2.params().scaled(GOLDEN_SCALE);
+    let metrics = run_workload(Mechanism::Baseline, &params, GOLDEN_SEED);
+    let det = metrics.deterministic();
+    assert_eq!(det.host, puno_harness::HostPerf::default());
+    assert_eq!(det.cycles, metrics.cycles);
+    assert_eq!(det.committed, metrics.committed);
+}

@@ -1,14 +1,34 @@
 //! Deterministic event queue.
 //!
-//! A binary min-heap keyed by `(cycle, seq)` where `seq` is a monotonically
-//! increasing insertion counter. Two events scheduled for the same cycle are
-//! therefore delivered in the order they were scheduled, independent of the
-//! payload type and of heap internals — the property that makes whole-system
-//! runs bit-reproducible.
+//! The logical structure is a priority queue keyed by `(cycle, seq)` where
+//! `seq` is a monotonically increasing insertion counter. Two events
+//! scheduled for the same cycle are therefore delivered in the order they
+//! were scheduled, independent of the payload type and of queue internals —
+//! the property that makes whole-system runs bit-reproducible.
+//!
+//! Physically the queue is split in two, calendar-queue style, because the
+//! simulator overwhelmingly schedules into the near future (`now+1` network
+//! steps, small wake-up delays) and those schedules don't need heap
+//! plumbing:
+//!
+//! - **Front buckets**: a ring of [`BUCKETS`] FIFO buckets covering cycles
+//!   `[now, now + BUCKETS)`. Bucket `c % BUCKETS` holds events for exactly
+//!   one cycle at a time (all queued cycles are `>= now`, and the window is
+//!   exactly one period wide), so push and pop are O(1); a `u64` occupancy
+//!   bitmask finds the earliest non-empty bucket without scanning.
+//! - **Far heap**: a binary min-heap for events `>= now + BUCKETS` away.
+//!   Entries are *not* migrated as `now` advances; instead every pop
+//!   compares the earliest bucket entry with the heap front under the exact
+//!   `(cycle, seq)` order, so an old far-future schedule and a fresh
+//!   near-future one interleave precisely as a single heap would.
 
 use crate::clock::Cycle;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Width of the near-future calendar window, in cycles. Must stay at 64 so
+/// the occupancy bitmask fits one machine word.
+const BUCKETS: u64 = 64;
 
 struct Entry<E> {
     cycle: Cycle,
@@ -38,7 +58,15 @@ impl<E> Ord for Entry<E> {
 
 /// Priority queue of simulation events with deterministic tie-breaking.
 pub struct EventQueue<E> {
+    /// Far-future events (cycle >= insertion-time `now + BUCKETS`).
     heap: BinaryHeap<Entry<E>>,
+    /// Near-future ring: bucket `c % BUCKETS` holds `(seq, payload)` pairs
+    /// for one cycle `c` in `[now, now + BUCKETS)`, in seq (FIFO) order.
+    buckets: Vec<VecDeque<(u64, E)>>,
+    /// Bit `b` set iff `buckets[b]` is non-empty.
+    bucket_mask: u64,
+    /// Total events across all buckets.
+    bucket_len: usize,
     next_seq: u64,
     now: Cycle,
 }
@@ -51,8 +79,21 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-size the queue for a system of roughly `capacity` concurrently
+    /// scheduled events (e.g. the node count): the far heap and each front
+    /// bucket reserve enough to avoid rehashing growth in the hot loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_bucket = capacity.div_ceil(4);
         Self {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
+            buckets: (0..BUCKETS as usize)
+                .map(|_| VecDeque::with_capacity(per_bucket))
+                .collect(),
+            bucket_mask: 0,
+            bucket_len: 0,
             next_seq: 0,
             now: 0,
         }
@@ -69,20 +110,36 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a logic error in the caller; the event is
     /// clamped to `now` so the simulation still makes forward progress, and
     /// debug builds assert.
+    #[inline]
     pub fn schedule_at(&mut self, at: Cycle, payload: E) {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: {at} < {}",
             self.now
         );
+        self.schedule_at_clamped(at, payload);
+    }
+
+    /// [`EventQueue::schedule_at`] without the debug assertion: a past `at`
+    /// is silently clamped to `now`. The documented release-mode behaviour,
+    /// callable directly where clamping is intended (and testable in debug
+    /// builds).
+    pub fn schedule_at_clamped(&mut self, at: Cycle, payload: E) {
         let cycle = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            cycle,
-            seq,
-            payload,
-        });
+        if cycle - self.now < BUCKETS {
+            let idx = (cycle % BUCKETS) as usize;
+            self.buckets[idx].push_back((seq, payload));
+            self.bucket_mask |= 1 << idx;
+            self.bucket_len += 1;
+        } else {
+            self.heap.push(Entry {
+                cycle,
+                seq,
+                payload,
+            });
+        }
     }
 
     /// Schedule `payload` `delay` cycles from now.
@@ -91,27 +148,104 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload);
     }
 
+    /// Earliest bucket cycle `>= now`, if any bucket is occupied.
+    #[inline]
+    fn front_bucket_cycle(&self) -> Option<Cycle> {
+        if self.bucket_mask == 0 {
+            return None;
+        }
+        // Rotate the mask so bit 0 corresponds to `now`'s bucket; the first
+        // set bit is then the distance to the earliest occupied cycle.
+        let rot = self.bucket_mask.rotate_right((self.now % BUCKETS) as u32);
+        Some(self.now + rot.trailing_zeros() as u64)
+    }
+
+    /// `(cycle, seq)` of the earliest pending event, if any.
+    #[inline]
+    fn front_key(&self) -> Option<(Cycle, u64, bool)> {
+        let bucket = self.front_bucket_cycle().map(|c| {
+            let (seq, _) = self.buckets[(c % BUCKETS) as usize]
+                .front()
+                .expect("occupied bucket has a front");
+            (c, *seq)
+        });
+        let heap = self.heap.peek().map(|e| (e.cycle, e.seq));
+        match (bucket, heap) {
+            (Some((bc, bs)), Some((hc, hs))) => {
+                if (bc, bs) < (hc, hs) {
+                    Some((bc, bs, true))
+                } else {
+                    Some((hc, hs, false))
+                }
+            }
+            (Some((bc, bs)), None) => Some((bc, bs, true)),
+            (None, Some((hc, hs))) => Some((hc, hs, false)),
+            (None, None) => None,
+        }
+    }
+
     /// Pop the earliest event, advancing the clock to its cycle.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.cycle >= self.now);
-        self.now = entry.cycle;
-        Some((entry.cycle, entry.payload))
+        let (cycle, _, from_bucket) = self.front_key()?;
+        debug_assert!(cycle >= self.now);
+        self.now = cycle;
+        let payload = if from_bucket {
+            let idx = (cycle % BUCKETS) as usize;
+            let (_, payload) = self.buckets[idx].pop_front().expect("front bucket entry");
+            if self.buckets[idx].is_empty() {
+                self.bucket_mask &= !(1 << idx);
+            }
+            self.bucket_len -= 1;
+            payload
+        } else {
+            self.heap.pop().expect("front heap entry").payload
+        };
+        Some((cycle, payload))
+    }
+
+    /// Pop *every* event scheduled for the earliest pending cycle into
+    /// `out` (cleared first), in exact `(cycle, seq)` order, and advance the
+    /// clock to that cycle. Returns the cycle, or `None` if the queue is
+    /// empty. One call replaces a run of single [`EventQueue::pop`]s that a
+    /// same-cycle batch would need — events scheduled *while the batch is
+    /// being processed* land at later seq numbers and are picked up by the
+    /// next call, exactly as they would be by one-at-a-time popping.
+    pub fn pop_cycle_into(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        out.clear();
+        let (cycle, _, _) = self.front_key()?;
+        self.now = cycle;
+        while let Some((c, _, from_bucket)) = self.front_key() {
+            if c != cycle {
+                break;
+            }
+            if from_bucket {
+                let idx = (cycle % BUCKETS) as usize;
+                let (_, payload) = self.buckets[idx].pop_front().expect("front bucket entry");
+                if self.buckets[idx].is_empty() {
+                    self.bucket_mask &= !(1 << idx);
+                }
+                self.bucket_len -= 1;
+                out.push(payload);
+            } else {
+                out.push(self.heap.pop().expect("front heap entry").payload);
+            }
+        }
+        Some(cycle)
     }
 
     /// Cycle of the earliest pending event, if any.
     pub fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.cycle)
+        self.front_key().map(|(c, _, _)| c)
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.bucket_len == 0 && self.heap.is_empty()
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.bucket_len + self.heap.len()
     }
 }
 
@@ -176,5 +310,92 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_into_the_bucket_window() {
+        // Scheduled far (heap), popped after `now` has advanced to within
+        // the bucket window — must interleave correctly with fresh
+        // same-cycle bucket schedules by seq order.
+        let mut q = EventQueue::new();
+        q.schedule_at(1000, "far"); // heap (seq 0)
+        q.schedule_at(1, "near");
+        assert_eq!(q.pop(), Some((1, "near")));
+        for c in 2..=999 {
+            q.schedule_at(c, "tick");
+            q.pop();
+        }
+        assert_eq!(q.now(), 999);
+        q.schedule_at(1000, "bucketed"); // same cycle, later seq
+        assert_eq!(q.pop(), Some((1000, "far")));
+        assert_eq!(q.pop(), Some((1000, "bucketed")));
+    }
+
+    #[test]
+    fn exact_bucket_window_boundary_goes_to_heap_and_still_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(63, "in-window");
+        q.schedule_at(64, "boundary"); // exactly now + BUCKETS -> heap
+        q.schedule_at(65, "beyond");
+        assert_eq!(q.pop(), Some((63, "in-window")));
+        assert_eq!(q.pop(), Some((64, "boundary")));
+        assert_eq!(q.pop(), Some((65, "beyond")));
+    }
+
+    #[test]
+    fn pop_cycle_into_batches_exactly_one_cycle() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1u32);
+        q.schedule_at(5, 2);
+        q.schedule_at(200, 9); // far heap entry, different cycle
+        q.schedule_at(5, 3);
+        let mut out = vec![99]; // stale content must be cleared
+        assert_eq!(q.pop_cycle_into(&mut out), Some(5));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop_cycle_into(&mut out), Some(200));
+        assert_eq!(out, vec![9]);
+        assert_eq!(q.pop_cycle_into(&mut out), None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pop_cycle_into_merges_heap_and_bucket_entries_by_seq() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "heap-first"); // seq 0, far -> heap
+                                          // Advance to 50 so cycle 100 is now inside the bucket window.
+        q.schedule_at(50, "mid");
+        q.pop();
+        q.schedule_at(100, "bucket-second"); // seq 2 -> bucket
+        let mut out = Vec::new();
+        assert_eq!(q.pop_cycle_into(&mut out), Some(100));
+        assert_eq!(out, vec!["heap-first", "bucket-second"]);
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "a");
+        q.pop();
+        q.schedule_at_clamped(3, "late"); // would assert via schedule_at
+        assert_eq!(q.pop(), Some((10, "late")));
+        assert_eq!(q.now(), 10);
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(64);
+        for i in 0..200u64 {
+            a.schedule_at(i / 3, i);
+            b.schedule_at(i / 3, i);
+        }
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -28,6 +28,6 @@ pub use clock::{Cycle, Cycles};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use ids::{LineAddr, NodeId, StaticTxId, Timestamp, TxId};
-pub use rng::SimRng;
+pub use rng::{SimRng, ZipfSampler};
 pub use stats::{Counter, Ewma, Histogram, RunningStats};
 pub use trace::TraceRing;

@@ -120,29 +120,13 @@ impl SimRng {
     }
 
     /// Zipf-distributed sample in `[0, n)` with exponent `theta` (0 =
-    /// uniform; ~0.8-1.2 models skewed hot-spot sharing). Inverse-CDF over a
-    /// precomputed table would be faster but this is cold path (trace
-    /// generation), so we use the rejection-free approximation of Gray et al.
+    /// uniform; ~0.8-1.2 models skewed hot-spot sharing).
+    ///
+    /// Convenience wrapper that rebuilds the distribution constants on every
+    /// call; loops should hoist a [`ZipfSampler`] instead (identical bits,
+    /// without re-deriving the O(n) harmonic sum per sample).
     pub fn gen_zipf(&mut self, n: u64, theta: f64) -> u64 {
-        assert!(n > 0);
-        if theta <= 0.0 {
-            return self.gen_range(n);
-        }
-        // Quick-and-correct: inverse transform on the generalized harmonic
-        // CDF via the standard two-constant approximation.
-        let alpha = 1.0 / (1.0 - theta);
-        let zetan = zeta(n, theta);
-        let eta = (1.0 - (2.0f64 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
-        let u = self.gen_f64();
-        let uz = u * zetan;
-        if uz < 1.0 {
-            return 0;
-        }
-        if uz < 1.0 + 0.5f64.powf(theta) {
-            return 1;
-        }
-        let v = ((n as f64) * (eta * u - eta + 1.0).powf(alpha)) as u64;
-        v.min(n - 1)
+        ZipfSampler::new(n, theta).sample(self)
     }
 
     /// Fisher-Yates shuffle.
@@ -161,11 +145,71 @@ impl SimRng {
     }
 }
 
+/// Precomputed Zipf distribution over `[0, n)` with exponent `theta` —
+/// the rejection-free approximation of Gray et al., with the generalized
+/// harmonic constants derived once at construction. Sampling through this
+/// struct is bit-identical to [`SimRng::gen_zipf`] (same arithmetic, same
+/// single `gen_f64` draw) but O(1) per sample instead of O(n).
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl ZipfSampler {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        if theta <= 0.0 {
+            // Uniform: the constants are unused.
+            return Self {
+                n,
+                theta,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+                half_pow_theta: 0.0,
+            };
+        }
+        // Inverse transform on the generalized harmonic CDF via the
+        // standard two-constant approximation.
+        let alpha = 1.0 / (1.0 - theta);
+        let zetan = zeta(n, theta);
+        let eta = (1.0 - (2.0f64 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.theta <= 0.0 {
+            return rng.gen_range(self.n);
+        }
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1;
+        }
+        let v = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
 fn zeta(n: u64, theta: f64) -> f64 {
     // Exact for the small n used in unit tests; for large n the partial sum
     // converges quickly for theta < 1 relative to our accuracy needs, and
-    // trace generation only calls this once per workload via caching at the
-    // call site.
+    // [`ZipfSampler`] evaluates it once per distribution, not per sample.
     let n = n.min(10_000);
     (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
 }

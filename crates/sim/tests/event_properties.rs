@@ -1,0 +1,162 @@
+//! Property tests for the calendar-queue fast path: under seeded random
+//! workloads the split bucket/heap [`EventQueue`] must pop the *exact*
+//! `(cycle, seq)` sequence a pure binary-heap reference queue produces —
+//! across mixed near/far schedules, same-cycle FIFO ties, interleaved
+//! schedule/pop traffic, batch pops, and the past-schedule clamp.
+
+use puno_sim::{EventQueue, SimRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pre-calendar implementation, kept as the ordering oracle: one binary
+/// min-heap over `(cycle, seq)` with a clamping scheduler.
+struct ReferenceQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, E)>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<E: Ord> ReferenceQueue<E> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, at: u64, payload: E) {
+        let cycle = at.max(self.now);
+        self.heap.push(Reverse((cycle, self.next_seq, payload)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((cycle, _, payload)) = self.heap.pop()?;
+        self.now = cycle;
+        Some((cycle, payload))
+    }
+}
+
+/// Drive both queues through an identical randomized schedule/pop script and
+/// assert identical pop sequences. `delay_for` shapes the schedule mix.
+fn check_against_reference(seed: u64, ops: usize, mut delay_for: impl FnMut(&mut SimRng) -> u64) {
+    let mut rng = SimRng::new(seed);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(16);
+    let mut r: ReferenceQueue<u64> = ReferenceQueue::new();
+    let mut payload = 0u64;
+    for _ in 0..ops {
+        // Biased toward scheduling so the queues stay populated.
+        if rng.gen_range(3) < 2 || q.is_empty() {
+            let burst = 1 + rng.gen_range(4);
+            let at = q.now() + delay_for(&mut rng);
+            for _ in 0..burst {
+                // Same-cycle bursts exercise FIFO tie-breaking.
+                q.schedule_at(at, payload);
+                r.schedule_at(at, payload);
+                payload += 1;
+            }
+        } else {
+            assert_eq!(q.pop(), r.pop(), "pop diverged (seed {seed})");
+        }
+        assert_eq!(q.len(), r.heap.len(), "len diverged (seed {seed})");
+    }
+    // Drain: every remaining event must match.
+    loop {
+        let (a, b) = (q.pop(), r.pop());
+        assert_eq!(a, b, "drain diverged (seed {seed})");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn near_future_schedules_match_reference() {
+    // The dominant simulator pattern: now+1 and small deltas, all inside
+    // the bucket window.
+    for seed in 0..8 {
+        check_against_reference(seed, 2_000, |rng| 1 + rng.gen_range(8));
+    }
+}
+
+#[test]
+fn mixed_near_far_schedules_match_reference() {
+    // Heap and buckets both populated; far events later cross into the
+    // bucket window as `now` advances and must interleave by seq.
+    for seed in 100..108 {
+        check_against_reference(seed, 2_000, |rng| {
+            if rng.gen_bool(0.3) {
+                64 + rng.gen_range(500) // far: heap path
+            } else {
+                rng.gen_range(64) // near: bucket path (incl. same-cycle 0)
+            }
+        });
+    }
+}
+
+#[test]
+fn window_boundary_schedules_match_reference() {
+    // Deltas clustered around the bucket/heap boundary (now + 64).
+    for seed in 200..204 {
+        check_against_reference(seed, 2_000, |rng| 60 + rng.gen_range(9));
+    }
+}
+
+#[test]
+fn past_schedule_clamp_matches_reference() {
+    // Randomly scheduling *behind* `now`: both queues clamp to `now`, and
+    // clamped events must still pop in insertion order among same-cycle
+    // peers. Uses the non-asserting entry point (the release-mode clamp).
+    for seed in 300..306 {
+        let mut rng = SimRng::new(seed);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: ReferenceQueue<u64> = ReferenceQueue::new();
+        let mut payload = 0u64;
+        for _ in 0..1_500 {
+            if rng.gen_range(3) < 2 || q.is_empty() {
+                // `at` may be far behind `now` — exercise the clamp.
+                let at = q.now().saturating_sub(rng.gen_range(50)) + rng.gen_range(80);
+                q.schedule_at_clamped(at, payload);
+                r.schedule_at(at, payload);
+                payload += 1;
+            } else {
+                assert_eq!(q.pop(), r.pop(), "clamp pop diverged (seed {seed})");
+            }
+        }
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b, "clamp drain diverged (seed {seed})");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_pop_matches_reference_pop_sequence() {
+    // pop_cycle_into must yield exactly the same flattened (cycle, payload)
+    // stream as one-at-a-time popping on the reference queue.
+    for seed in 400..404 {
+        let mut rng = SimRng::new(seed);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut r: ReferenceQueue<u64> = ReferenceQueue::new();
+        for i in 0..3_000u64 {
+            let at = rng.gen_range(300);
+            q.schedule_at_clamped(at, i);
+            r.schedule_at(at, i);
+        }
+        let mut batch = Vec::new();
+        while let Some(cycle) = q.pop_cycle_into(&mut batch) {
+            for &payload in &batch {
+                assert_eq!(
+                    r.pop(),
+                    Some((cycle, payload)),
+                    "batch diverged (seed {seed})"
+                );
+            }
+        }
+        assert_eq!(r.pop(), None);
+    }
+}

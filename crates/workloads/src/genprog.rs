@@ -4,7 +4,7 @@
 use crate::addresses::AddressMap;
 use crate::op::{DynTxSpec, NodeProgram, TxOp, WorkItem};
 use crate::params::WorkloadParams;
-use puno_sim::{LineAddr, NodeId, SimRng, StaticTxId};
+use puno_sim::{LineAddr, NodeId, SimRng, StaticTxId, ZipfSampler};
 
 /// Generate node `node`'s program for `params`, deterministically derived
 /// from `seed`. The same `(params, node, seed)` always yields the same
@@ -14,6 +14,9 @@ pub fn generate_program(params: &WorkloadParams, node: NodeId, seed: u64) -> Nod
     let map = AddressMap::new(params.shared_lines, params.private_lines_per_node.max(1));
     let mut rng = SimRng::new(seed).derive(0x9E3779B9 ^ node.0 as u64);
     let total_weight: f64 = params.static_txs.iter().map(|t| t.weight).sum();
+    // Hoisted Zipf constants: one O(n) harmonic sum per program instead of
+    // one per shared access (bit-identical samples to `rng.gen_zipf`).
+    let zipf = ZipfSampler::new(params.shared_lines, params.zipf_theta);
 
     let mut items = Vec::new();
     for _ in 0..params.tx_per_node {
@@ -56,7 +59,7 @@ pub fn generate_program(params: &WorkloadParams, node: NodeId, seed: u64) -> Nod
         };
 
         for _ in 0..st.lead_reads {
-            let addr = map.shared(rng.gen_zipf(params.shared_lines, params.zipf_theta));
+            let addr = map.shared(zipf.sample(&mut rng));
             ops.push(TxOp::Read(addr));
             read_lines.push(addr);
         }
@@ -76,7 +79,7 @@ pub fn generate_program(params: &WorkloadParams, node: NodeId, seed: u64) -> Nod
         for _ in 0..n_reads {
             think(&mut rng, &mut ops);
             let addr = if rng.gen_bool(st.read_shared_fraction) {
-                map.shared(rng.gen_zipf(params.shared_lines, params.zipf_theta))
+                map.shared(zipf.sample(&mut rng))
             } else {
                 map.private(node, rng.gen_range(map.private_lines_per_node))
             };
@@ -90,7 +93,7 @@ pub fn generate_program(params: &WorkloadParams, node: NodeId, seed: u64) -> Nod
             let addr = if !read_lines.is_empty() && rng.gen_bool(st.rmw_fraction) {
                 *rng.choose(&read_lines)
             } else if rng.gen_bool(st.write_shared_fraction) {
-                map.shared(rng.gen_zipf(params.shared_lines, params.zipf_theta))
+                map.shared(zipf.sample(&mut rng))
             } else {
                 map.private(node, rng.gen_range(map.private_lines_per_node))
             };

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Substrate benchmark runner: times the simulation substrate (event queue,
+# NoC, directory, predictor structures) plus end-to-end system/throughput
+# runs, and emits a machine-readable BENCH_substrate.json.
+#
+# Usage: scripts/bench.sh [out.json]
+#
+# Environment passthrough (see crates/bench/benches/substrate.rs):
+#   BENCH_SUBSTRATE_ITERS      smoke | float multiplier (default full-size)
+#   BENCH_SUBSTRATE_BASELINE   compare against a prior JSON, fail on >25%
+#                              slowdown per benchmark
+#   PUNO_BENCH_ALLOW_REGRESSION=1  demote baseline failures to warnings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_substrate.json}"
+# cargo runs the bench with cwd = crates/bench; anchor the output path here.
+case "$out" in
+    /*) ;;
+    *) out="$PWD/$out" ;;
+esac
+
+BENCH_SUBSTRATE_JSON="$out" \
+    cargo bench --offline -q -p puno-bench --bench substrate
+
+echo "benchmark results written to $out"

@@ -17,4 +17,13 @@ cargo test --offline --workspace -q
 echo "== fault smoke (0.05 scale, intensity 1.0) =="
 cargo run --offline --release -q -p puno-harness --bin fault_smoke -- 0.05 1.0 1
 
+echo "== substrate bench smoke (vs checked-in baseline) =="
+# Fails if any benchmark runs >25% slower than results/BENCH_substrate_baseline.json.
+# On a noisy/shared machine, set PUNO_BENCH_ALLOW_REGRESSION=1 to demote the
+# failure to a warning; refresh the baseline with:
+#   BENCH_SUBSTRATE_ITERS=smoke scripts/bench.sh results/BENCH_substrate_baseline.json
+BENCH_SUBSTRATE_ITERS=smoke \
+BENCH_SUBSTRATE_BASELINE="$PWD/results/BENCH_substrate_baseline.json" \
+    cargo bench --offline -q -p puno-bench --bench substrate
+
 echo "CI OK"
