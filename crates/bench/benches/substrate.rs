@@ -23,13 +23,15 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use puno_coherence::directory::{DirConfig, DirectoryBank};
+use puno_coherence::l1::{L1Cache, L1Config, LineState};
 use puno_coherence::msg::{CoherenceMsg, TxInfo};
 use puno_coherence::predictor::NullPredictor;
 use puno_coherence::sharers::SharerSet;
 use puno_core::{PBuffer, PunoConfig, PunoPredictor, TxLengthBuffer};
 use puno_harness::{Mechanism, SystemConfig};
+use puno_htm::rwset::ReadWriteSets;
 use puno_noc::{Mesh, Network, NocConfig, VirtualNetwork, CONTROL_FLITS};
-use puno_sim::{EventQueue, LineAddr, NodeId, SimRng, StaticTxId, Timestamp, TxId};
+use puno_sim::{EventQueue, LineAddr, LineMap, NodeId, SimRng, StaticTxId, Timestamp, TxId};
 use puno_workloads::WorkloadId;
 
 /// Allowed slowdown against the checked-in baseline before CI fails.
@@ -90,25 +92,39 @@ impl Harness {
     }
 
     /// Compare against a baseline JSON (flat name -> us/iter map). Returns
-    /// the regression report lines (empty = clean).
+    /// the failure report lines (empty = clean): timing regressions past
+    /// [`REGRESSION_TOLERANCE`], plus missing-key drift in either direction
+    /// — a benchmark present only in the baseline means coverage silently
+    /// vanished; one present only in the results means the baseline file
+    /// was not refreshed (`scripts/bench.sh` regenerates it).
     fn compare_baseline(&self, path: &str) -> Vec<String> {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = parse_flat_json(&text);
-        let mut regressions = Vec::new();
+        let mut failures = Vec::new();
         for (name, us) in &self.results {
             let Some(base) = baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v) else {
-                continue; // new benchmark, nothing to compare
+                failures.push(format!(
+                    "{name}: missing from baseline {path} (refresh it to cover new benchmarks)"
+                ));
+                continue;
             };
             let ratio = us / base;
             if ratio > REGRESSION_TOLERANCE {
-                regressions.push(format!(
+                failures.push(format!(
                     "{name}: {us:.3} us/iter vs baseline {base:.3} ({:.0}% slower)",
                     (ratio - 1.0) * 100.0
                 ));
             }
         }
-        regressions
+        for (name, _) in &baseline {
+            if !self.results.iter().any(|(n, _)| n == name) {
+                failures.push(format!(
+                    "{name}: in baseline {path} but not produced by this run (benchmark removed?)"
+                ));
+            }
+        }
+        failures
     }
 }
 
@@ -294,6 +310,73 @@ fn bench_txlb(h: &mut Harness) {
     });
 }
 
+/// The hot-state structures this substrate replaced std collections with:
+/// the per-attempt read/write sets, the shared open-addressing map, and the
+/// flat L1 tag array. Each benchmark reuses one long-lived instance across
+/// iterations — exactly the recycle-don't-reallocate pattern the simulator
+/// runs, so the clear/reuse paths are what get timed.
+fn bench_hot_state(h: &mut Harness) {
+    // One transaction attempt: record a mixed footprint, answer the probe
+    // mix conflict detection sees (mostly misses), then the abort→retry
+    // generation clear.
+    let mut sets = ReadWriteSets::new();
+    h.bench("rwset/record_check_clear", 50_000, move || {
+        for i in 0..16u64 {
+            sets.record_read(LineAddr(i * 5));
+        }
+        for i in 0..8u64 {
+            sets.record_write(LineAddr(i * 5));
+        }
+        let mut hits = 0u64;
+        for probe in 0..64u64 {
+            if sets.conflicts_with(LineAddr(probe), probe % 2 == 0) {
+                hits += 1;
+            }
+        }
+        sets.clear();
+        black_box(hits)
+    });
+
+    // Directory/memory-image shape: point insert/get churn with removals
+    // exercising backward-shift deletion.
+    let mut map: LineMap<LineAddr, u64> = LineMap::with_capacity(256);
+    h.bench("linemap/insert_probe", 20_000, move || {
+        for i in 0..128u64 {
+            map.insert(LineAddr(i * 3), i);
+        }
+        let mut sum = 0u64;
+        for probe in 0..256u64 {
+            if let Some(v) = map.get(LineAddr(probe)) {
+                sum = sum.wrapping_add(*v);
+            }
+        }
+        for i in 0..64u64 {
+            map.remove(LineAddr(i * 6));
+        }
+        black_box(sum)
+    });
+
+    // L1 fill/evict/access churn over one set-conflicting stream (the flat
+    // preallocated tag array's worst-friendly case).
+    let mut l1 = L1Cache::new(L1Config::default());
+    h.bench("l1/fill_evict", 20_000, move || {
+        let mut evictions = 0u64;
+        for i in 0..64u64 {
+            // 8 sets x 8 conflicting lines each: every set overflows its
+            // 4 ways, so half the fills evict.
+            let addr = LineAddr((i % 8) + (i / 8) * 128);
+            if !matches!(
+                l1.fill(addr, LineState::Shared),
+                Ok(puno_coherence::l1::Eviction::None)
+            ) {
+                evictions += 1;
+            }
+            l1.access(addr, false);
+        }
+        black_box(evictions)
+    });
+}
+
 /// End-to-end simulator throughput: whole-system runs of the low-contention
 /// STAMP workloads where idle-scan overhead dominates (the ISSUE 2 target
 /// of at least 2x simulated cycles/sec). Also reported as us/iter so the
@@ -326,18 +409,19 @@ fn main() {
     bench_pbuffer(&mut h);
     bench_predictor(&mut h);
     bench_txlb(&mut h);
+    bench_hot_state(&mut h);
     bench_system_throughput(&mut h);
 
     if let Ok(path) = std::env::var("BENCH_SUBSTRATE_JSON") {
         h.write_json(&path);
     }
     if let Ok(path) = std::env::var("BENCH_SUBSTRATE_BASELINE") {
-        let regressions = h.compare_baseline(&path);
-        if regressions.is_empty() {
+        let failures = h.compare_baseline(&path);
+        if failures.is_empty() {
             println!("baseline check OK ({path})");
         } else {
-            eprintln!("benchmark regressions vs {path}:");
-            for r in &regressions {
+            eprintln!("baseline check failures vs {path}:");
+            for r in &failures {
                 eprintln!("  {r}");
             }
             if std::env::var("PUNO_BENCH_ALLOW_REGRESSION").is_ok() {

@@ -20,8 +20,8 @@ use crate::msg::{CoherenceMsg, TxInfo};
 use crate::predictor::UnicastPredictor;
 use crate::sharers::SharerSet;
 use crate::stats::DirStats;
-use puno_sim::{Cycle, Cycles, LineAddr, NodeId};
-use std::collections::{HashMap, VecDeque};
+use puno_sim::{Cycle, Cycles, LineAddr, LineMap, NodeId};
+use std::collections::VecDeque;
 
 /// Directory/L2 timing knobs (Table II).
 #[derive(Clone, Copy, Debug)]
@@ -137,7 +137,7 @@ pub enum DirAction {
 pub struct DirectoryBank {
     home: NodeId,
     config: DirConfig,
-    entries: HashMap<LineAddr, Entry>,
+    entries: LineMap<LineAddr, Entry>,
     stats: DirStats,
 }
 
@@ -146,7 +146,10 @@ impl DirectoryBank {
         Self {
             home,
             config,
-            entries: HashMap::new(),
+            // Modest pre-size: banks are long-lived and grow amortized; a
+            // large up-front table would make bank construction itself hot
+            // (entries are wide — the microbench constructs banks per-iter).
+            entries: LineMap::with_capacity(64),
             stats: DirStats::default(),
         }
     }
@@ -162,20 +165,20 @@ impl DirectoryBank {
     /// Debug/test visibility: current holders of a line.
     pub fn holders_of(&self, addr: LineAddr) -> SharerSet {
         self.entries
-            .get(&addr)
+            .get(addr)
             .map(|e| e.holders())
             .unwrap_or(SharerSet::EMPTY)
     }
 
     /// Debug/test visibility: current owner of a line.
     pub fn owner_of(&self, addr: LineAddr) -> Option<NodeId> {
-        let e = self.entries.get(&addr)?;
+        let e = self.entries.get(addr)?;
         (e.state == Stable::Owned).then_some(e.owner).flatten()
     }
 
     /// Debug/test visibility: is the entry busy?
     pub fn is_busy(&self, addr: LineAddr) -> bool {
-        self.entries.get(&addr).is_some_and(|e| e.busy.is_some())
+        self.entries.get(addr).is_some_and(|e| e.busy.is_some())
     }
 
     /// Process a message addressed to this home bank.
@@ -231,7 +234,7 @@ impl DirectoryBank {
     ) {
         let entry = self
             .entries
-            .get_mut(&addr)
+            .get_mut(addr)
             .expect("mem_ready for unknown line");
         let busy = entry.busy.as_mut().expect("mem_ready for non-busy line");
         let BusyKind::MemFetch { is_getx } = busy.kind else {
@@ -289,7 +292,7 @@ impl DirectoryBank {
             | CoherenceMsg::Putx { .. }
             | CoherenceMsg::Puts { .. } => {
                 let addr = msg.addr();
-                let entry = self.entries.entry(addr).or_insert_with(Entry::new);
+                let entry = self.entries.get_or_insert_with(addr, Entry::new);
                 if entry.busy.is_some() {
                     entry.waiting.push_back(msg);
                     self.stats.queued_requests.inc();
@@ -317,7 +320,7 @@ impl DirectoryBank {
             CoherenceMsg::WbData { addr, .. } => {
                 // Sharing writeback from a downgrading owner: refreshes the
                 // L2 copy; no state transition (the UNBLOCK carries it).
-                if let Some(entry) = self.entries.get_mut(&addr) {
+                if let Some(entry) = self.entries.get_mut(addr) {
                     if let Stable::Uncached { in_l2 } = &mut entry.state {
                         *in_l2 = true;
                     }
@@ -382,7 +385,7 @@ impl DirectoryBank {
     ) {
         let home = self.home;
         let config = self.config;
-        let entry = self.entries.get_mut(&addr).unwrap();
+        let entry = self.entries.get_mut(addr).unwrap();
         match entry.state {
             Stable::Uncached { in_l2: false } => {
                 entry.busy = Some(Busy {
@@ -471,12 +474,12 @@ impl DirectoryBank {
         // Compute the holder set before borrowing the entry mutably for the
         // busy update, because the predictor also needs it.
         let (state, holders, owner) = {
-            let entry = self.entries.get_mut(&addr).unwrap();
+            let entry = self.entries.get_mut(addr).unwrap();
             (entry.state, entry.holders(), entry.owner)
         };
         match state {
             Stable::Uncached { in_l2: false } => {
-                let entry = self.entries.get_mut(&addr).unwrap();
+                let entry = self.entries.get_mut(addr).unwrap();
                 entry.busy = Some(Busy {
                     requester,
                     kind: BusyKind::MemFetch { is_getx: true },
@@ -490,7 +493,7 @@ impl DirectoryBank {
                 });
             }
             Stable::Uncached { in_l2: true } => {
-                let entry = self.entries.get_mut(&addr).unwrap();
+                let entry = self.entries.get_mut(addr).unwrap();
                 entry.busy = Some(Busy {
                     requester,
                     kind: BusyKind::InvMulticast {
@@ -516,7 +519,7 @@ impl DirectoryBank {
                 targets.remove(requester);
                 if targets.is_empty() {
                     // Requester is the only sharer: pure upgrade.
-                    let entry = self.entries.get_mut(&addr).unwrap();
+                    let entry = self.entries.get_mut(addr).unwrap();
                     entry.busy = Some(Busy {
                         requester,
                         kind: BusyKind::InvMulticast { targets },
@@ -556,7 +559,7 @@ impl DirectoryBank {
                 });
                 if let Some(target) = predicted {
                     debug_assert!(targets.contains(target.node));
-                    let entry = self.entries.get_mut(&addr).unwrap();
+                    let entry = self.entries.get_mut(addr).unwrap();
                     entry.busy = Some(Busy {
                         requester,
                         kind: BusyKind::InvUnicast {
@@ -577,7 +580,7 @@ impl DirectoryBank {
                         delay: config.dir_latency + predictor.decision_latency(),
                     });
                 } else {
-                    let entry = self.entries.get_mut(&addr).unwrap();
+                    let entry = self.entries.get_mut(addr).unwrap();
                     entry.busy = Some(Busy {
                         requester,
                         kind: BusyKind::InvMulticast { targets },
@@ -646,7 +649,7 @@ impl DirectoryBank {
                 if unicast {
                     self.stats.unicasts_sent.inc();
                 }
-                let entry = self.entries.get_mut(&addr).unwrap();
+                let entry = self.entries.get_mut(addr).unwrap();
                 entry.busy = Some(Busy {
                     requester,
                     kind: BusyKind::FwdGetx { prev_owner },
@@ -675,7 +678,7 @@ impl DirectoryBank {
         actions: &mut Vec<DirAction>,
     ) {
         let delay = self.config.dir_latency;
-        let entry = self.entries.get_mut(&addr).unwrap();
+        let entry = self.entries.get_mut(addr).unwrap();
         if entry.state == Stable::Owned && entry.owner == Some(owner) {
             match sticky {
                 // LogTM-style sticky-M: data is written back (L2 current)
@@ -721,7 +724,7 @@ impl DirectoryBank {
         let (holders, tx_getx, blocked_for) = {
             let entry = self
                 .entries
-                .get_mut(&addr)
+                .get_mut(addr)
                 .expect("unblock for unknown line");
             let busy = entry.busy.take().expect("unblock for non-busy line");
             assert_eq!(
@@ -804,7 +807,7 @@ impl DirectoryBank {
 
         // Drain queued requests until one blocks the entry again.
         loop {
-            let entry = self.entries.get_mut(&addr).unwrap();
+            let entry = self.entries.get_mut(addr).unwrap();
             if entry.busy.is_some() {
                 break;
             }

@@ -15,7 +15,6 @@
 
 use puno_sim::LineAddr;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Stable MESI states a line can hold in the L1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,9 +86,11 @@ pub struct CapacityConflict;
 
 pub struct L1Cache {
     config: L1Config,
-    sets: Vec<Vec<Way>>,
-    /// addr -> set index cache for O(1) invalidations.
-    index: HashMap<LineAddr, u32>,
+    /// Flat preallocated tag array, `sets × ways` slots: set `s` owns
+    /// `ways[s*W .. (s+1)*W]`. One contiguous allocation sized at
+    /// construction — a fill or invalidation never allocates, and a set scan
+    /// is a short linear walk over adjacent slots.
+    ways: Vec<Option<Way>>,
     tick: u64,
 }
 
@@ -98,8 +99,7 @@ impl L1Cache {
         assert!(config.sets.is_power_of_two() && config.ways >= 1);
         Self {
             config,
-            sets: (0..config.sets).map(|_| Vec::new()).collect(),
-            index: HashMap::new(),
+            ways: vec![None; (config.sets * config.ways) as usize],
             tick: 0,
         }
     }
@@ -109,14 +109,27 @@ impl L1Cache {
         (addr.0 % self.config.sets as u64) as u32
     }
 
+    /// Slot range of the set holding `addr`.
+    #[inline]
+    fn set_range(&self, addr: LineAddr) -> std::ops::Range<usize> {
+        let start = self.set_of(addr) as usize * self.config.ways as usize;
+        start..start + self.config.ways as usize
+    }
+
     fn way_mut(&mut self, addr: LineAddr) -> Option<&mut Way> {
-        let set = self.set_of(addr) as usize;
-        self.sets[set].iter_mut().find(|w| w.addr == addr)
+        let range = self.set_range(addr);
+        self.ways[range]
+            .iter_mut()
+            .filter_map(|s| s.as_mut())
+            .find(|w| w.addr == addr)
     }
 
     fn way(&self, addr: LineAddr) -> Option<&Way> {
-        let set = self.set_of(addr) as usize;
-        self.sets[set].iter().find(|w| w.addr == addr)
+        let range = self.set_range(addr);
+        self.ways[range]
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .find(|w| w.addr == addr)
     }
 
     /// Current state of a resident line.
@@ -157,25 +170,25 @@ impl L1Cache {
         match self.fill(addr, state) {
             Ok(ev) => ev,
             Err(CapacityConflict) => {
-                let set_idx = self.set_of(addr) as usize;
-                // Evict the LRU pinned way.
-                let victim = self.sets[set_idx]
+                let range = self.set_range(addr);
+                // Evict the LRU pinned way (LRU ticks are unique, so the
+                // min is deterministic).
+                let victim = self.ways[range]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
+                    .filter_map(|(i, s)| s.as_ref().map(|w| (i, w.lru)))
+                    .min_by_key(|&(_, lru)| lru)
                     .map(|(i, _)| i)
                     .expect("full set must have ways");
-                let w = self.sets[set_idx].swap_remove(victim);
-                self.index.remove(&w.addr);
+                let slot = self.set_range(addr).start + victim;
+                let w = self.ways[slot].take().expect("victim slot occupied");
                 self.tick += 1;
-                let tick = self.tick;
-                self.sets[set_idx].push(Way {
+                self.ways[slot] = Some(Way {
                     addr,
                     state,
                     pinned: false,
-                    lru: tick,
+                    lru: self.tick,
                 });
-                self.index.insert(addr, set_idx as u32);
                 match w.state {
                     LineState::Modified => Eviction::Dirty(w.addr),
                     LineState::Exclusive => Eviction::CleanOwned(w.addr),
@@ -193,36 +206,37 @@ impl L1Cache {
             w.state = state;
             return Ok(Eviction::None);
         }
-        self.tick += 1;
-        let tick = self.tick;
-        let set_idx = self.set_of(addr) as usize;
-        let ways = self.config.ways as usize;
-        let evicted = if self.sets[set_idx].len() < ways {
-            Eviction::None
-        } else {
-            // Evict LRU among unpinned ways.
-            let victim = self.sets[set_idx]
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| !w.pinned)
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .ok_or(CapacityConflict)?;
-            let w = self.sets[set_idx].swap_remove(victim);
-            self.index.remove(&w.addr);
-            match w.state {
-                LineState::Modified => Eviction::Dirty(w.addr),
-                LineState::Exclusive => Eviction::CleanOwned(w.addr),
-                LineState::Shared => Eviction::Silent(w.addr),
+        let range = self.set_range(addr);
+        // Free slot, else LRU among unpinned ways (unique ticks make the
+        // min deterministic whatever the slot order).
+        let (slot, evicted) = match self.ways[range.clone()].iter().position(|s| s.is_none()) {
+            Some(free) => (range.start + free, Eviction::None),
+            None => {
+                let victim = self.ways[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|w| (i, w)))
+                    .filter(|(_, w)| !w.pinned)
+                    .min_by_key(|&(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .ok_or(CapacityConflict)?;
+                let slot = range.start + victim;
+                let w = self.ways[slot].take().expect("victim slot occupied");
+                let ev = match w.state {
+                    LineState::Modified => Eviction::Dirty(w.addr),
+                    LineState::Exclusive => Eviction::CleanOwned(w.addr),
+                    LineState::Shared => Eviction::Silent(w.addr),
+                };
+                (slot, ev)
             }
         };
-        self.sets[set_idx].push(Way {
+        self.tick += 1;
+        self.ways[slot] = Some(Way {
             addr,
             state,
             pinned: false,
-            lru: tick,
+            lru: self.tick,
         });
-        self.index.insert(addr, set_idx as u32);
         Ok(evicted)
     }
 
@@ -235,10 +249,12 @@ impl L1Cache {
 
     /// Drop a line (invalidation or eviction completion). No-op if absent.
     pub fn invalidate(&mut self, addr: LineAddr) {
-        let set = self.set_of(addr) as usize;
-        if let Some(pos) = self.sets[set].iter().position(|w| w.addr == addr) {
-            self.sets[set].swap_remove(pos);
-            self.index.remove(&addr);
+        let range = self.set_range(addr);
+        for slot in &mut self.ways[range] {
+            if slot.as_ref().is_some_and(|w| w.addr == addr) {
+                *slot = None;
+                return;
+            }
         }
     }
 
@@ -251,10 +267,8 @@ impl L1Cache {
 
     /// Unpin every pinned line (commit or abort finished).
     pub fn unpin_all(&mut self) {
-        for set in &mut self.sets {
-            for w in set {
-                w.pinned = false;
-            }
+        for w in self.ways.iter_mut().flatten() {
+            w.pinned = false;
         }
     }
 
@@ -264,7 +278,7 @@ impl L1Cache {
 
     /// Number of resident lines (for tests/diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.ways.iter().filter(|s| s.is_some()).count()
     }
 }
 

@@ -98,8 +98,8 @@ pub fn check(nodes: &[NodeState], dirs: &[DirectoryBank], lines: &[LineAddr]) ->
         if let Some(owner) = bank.owner_of(addr) {
             let node = &nodes[owner.index()];
             let holds = node.l1.state(addr).is_some_and(|s| s.writable());
-            let wb_pending = node.wb_buffer.contains_key(&addr);
-            let sticky = node.sticky_owned.contains(&addr);
+            let wb_pending = node.wb_buffer.contains_key(addr);
+            let sticky = node.sticky_owned.contains(addr);
             if !holds && !wb_pending && !sticky {
                 violations.push(Violation::OwnerDisagreement {
                     addr,

@@ -7,22 +7,23 @@
 //! network. Eager version management writes in place at store time; aborts
 //! restore values from the undo log.
 
-use puno_sim::LineAddr;
-use std::collections::HashMap;
+use puno_sim::{LineAddr, LineMap};
 
 #[derive(Clone, Debug, Default)]
 pub struct MemoryImage {
-    values: HashMap<LineAddr, u64>,
+    values: LineMap<LineAddr, u64>,
 }
 
 impl MemoryImage {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            values: LineMap::with_capacity(4096),
+        }
     }
 
     /// Read a line's current value (zero-initialized).
     pub fn read(&self, addr: LineAddr) -> u64 {
-        self.values.get(&addr).copied().unwrap_or(0)
+        self.values.get(addr).copied().unwrap_or(0)
     }
 
     /// Write a line in place (eager versioning).

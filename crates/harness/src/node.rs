@@ -17,9 +17,8 @@ use puno_htm::rmw::OpSite;
 use puno_htm::stats::AbortCause;
 use puno_htm::unit::HtmUnit;
 use puno_htm::BackoffEngine;
-use puno_sim::{Cycle, Cycles, LineAddr, NodeId, Timestamp, TxId};
+use puno_sim::{Cycle, Cycles, LineAddr, LineMap, LineSet, NodeId, Timestamp, TxId};
 use puno_workloads::op::{DynTxSpec, NodeProgram, TxOp, WorkItem};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// What a node step/message handler asks the system to do.
 #[derive(Debug, Default)]
@@ -114,11 +113,11 @@ pub struct NodeState {
     /// Lines with writebacks in flight, with a count per line: a line can
     /// be evicted, refetched and evicted again before the first WbAck
     /// returns, leaving two acks outstanding.
-    pub wb_buffer: BTreeMap<LineAddr, u32>,
+    pub wb_buffer: LineMap<LineAddr, u32>,
     /// Write-set lines force-evicted with sticky-owner writebacks: the
     /// directory still names this node owner (LogTM sticky-M), used by the
     /// invariant checker and cleared when ownership actually moves.
-    pub sticky_owned: BTreeSet<LineAddr>,
+    pub sticky_owned: LineSet<LineAddr>,
     cur_tx: Option<CurTx>,
     next_tx_seq: u64,
     /// Deferred restart (abort happened while the MSHR was in flight):
@@ -169,8 +168,8 @@ impl NodeState {
             epoch: 0,
             phase: Phase::Ready,
             mshr: None,
-            wb_buffer: BTreeMap::new(),
-            sticky_owned: BTreeSet::new(),
+            wb_buffer: LineMap::new(),
+            sticky_owned: LineSet::new(),
             cur_tx: None,
             next_tx_seq: 0,
             pending_restart: None,
@@ -596,7 +595,7 @@ impl NodeState {
         eff: &mut Effects,
     ) {
         // Ownership (sticky or real) moves away with this forward.
-        self.sticky_owned.remove(&addr);
+        self.sticky_owned.remove(addr);
         match msg {
             CoherenceMsg::Inv { .. } => {
                 self.l1.invalidate(addr);
@@ -701,10 +700,10 @@ impl NodeState {
         memory: &mut MemoryImage,
     ) -> Effects {
         if let CoherenceMsg::WbAck { addr } = msg {
-            match self.wb_buffer.get_mut(addr) {
+            match self.wb_buffer.get_mut(*addr) {
                 Some(count) if *count > 1 => *count -= 1,
                 Some(_) => {
-                    self.wb_buffer.remove(addr);
+                    self.wb_buffer.remove(*addr);
                 }
                 None => debug_assert!(false, "WbAck for unknown writeback"),
             }
@@ -949,7 +948,7 @@ impl NodeState {
             Eviction::None | Eviction::Silent(_) => {}
             Eviction::CleanOwned(addr) => {
                 let sticky = sticky_of(self, addr);
-                *self.wb_buffer.entry(addr).or_insert(0) += 1;
+                *self.wb_buffer.get_or_insert_with(addr, || 0) += 1;
                 eff.sends.push((
                     self.home_of(addr),
                     CoherenceMsg::Puts {
@@ -964,7 +963,7 @@ impl NodeState {
                 if sticky == puno_coherence::msg::StickyKind::Writer {
                     self.sticky_owned.insert(addr);
                 }
-                *self.wb_buffer.entry(addr).or_insert(0) += 1;
+                *self.wb_buffer.get_or_insert_with(addr, || 0) += 1;
                 eff.sends.push((
                     self.home_of(addr),
                     CoherenceMsg::Putx {
@@ -1390,7 +1389,7 @@ mod tests {
         let ev = n.l1.fill(LineAddr(16), LineState::Shared).unwrap();
         n.handle_eviction(ev, &mut eff);
         assert!(matches!(eff.sends[0].1, CoherenceMsg::Putx { .. }));
-        assert!(n.wb_buffer.contains_key(&LineAddr(0)));
+        assert!(n.wb_buffer.contains_key(LineAddr(0)));
         n.on_response(5, &CoherenceMsg::WbAck { addr: LineAddr(0) }, &mut mem);
         assert!(n.wb_buffer.is_empty());
     }

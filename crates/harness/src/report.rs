@@ -214,6 +214,11 @@ impl NormalizedFigure {
 /// every (workload, mechanism) cell of a sweep. These are *host-side*
 /// observability numbers (how fast the simulator itself ran), not simulated
 /// results — they vary run to run and are excluded from golden comparisons.
+///
+/// The simulated side is pinned by `tests/golden_metrics.rs`: perf-only
+/// refactors must pass it unchanged, and intentional behavior changes are
+/// re-blessed with `PUNO_BLESS_GOLDEN=1 cargo test -p puno-harness --test
+/// golden_metrics`.
 pub fn render_host_perf(results: &[SweepResult]) -> String {
     let mut out = String::new();
     out.push_str("simulator throughput (host-side, per cell)\n");

@@ -203,10 +203,7 @@ where
 
     let done: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
+    let threads = sweep_threads().min(jobs.len().max(1));
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -236,6 +233,24 @@ where
         .into_iter()
         .map(|s| s.expect("every sweep cell resolved"))
         .collect()
+}
+
+/// Worker threads for a sweep: `available_parallelism`, optionally capped
+/// by the `PUNO_SWEEP_THREADS` env override so CI and bench runs use a
+/// pinned, reproducible thread count (machine load — per-cell results are
+/// deterministic at any thread count). Unparsable or zero values fall back
+/// to the hardware count.
+fn sweep_threads() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    match std::env::var("PUNO_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => hw.min(n),
+        _ => hw,
+    }
 }
 
 /// Run one cell with panic containment and bounded retries.

@@ -13,8 +13,8 @@
 //! reproduce: by converting read-read sharing into write-read conflicts, the
 //! predictor *hurts* high-contention workloads (2x more aborts in Vacation).
 
+use puno_sim::{LineKey, LineMap};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A static operation site: (static transaction id, operation index) — the
 /// synthetic-workload analogue of a load instruction's PC.
@@ -24,12 +24,26 @@ pub struct OpSite {
     pub op_index: u32,
 }
 
+impl LineKey for OpSite {
+    #[inline]
+    fn to_key(self) -> u64 {
+        (self.static_tx as u64) << 32 | self.op_index as u64
+    }
+    #[inline]
+    fn from_key(key: u64) -> Self {
+        Self {
+            static_tx: (key >> 32) as u32,
+            op_index: key as u32,
+        }
+    }
+}
+
 /// Per-node RMW predictor with a bounded table and FIFO replacement.
 #[derive(Clone, Debug)]
 pub struct RmwPredictor {
     capacity: usize,
     /// Trained load sites, mapped to their insertion order for replacement.
-    table: HashMap<OpSite, u64>,
+    table: LineMap<OpSite, u64>,
     insert_seq: u64,
 }
 
@@ -38,7 +52,7 @@ impl RmwPredictor {
         assert!(capacity > 0);
         Self {
             capacity,
-            table: HashMap::new(),
+            table: LineMap::with_capacity(capacity),
             insert_seq: 0,
         }
     }
@@ -50,19 +64,20 @@ impl RmwPredictor {
 
     /// Should the load at `site` request exclusive permission?
     pub fn predicts_rmw(&self, site: OpSite) -> bool {
-        self.table.contains_key(&site)
+        self.table.contains_key(site)
     }
 
     /// Train: the load at `site` was followed by a store to the same line
     /// within one transaction.
     pub fn train(&mut self, site: OpSite) {
-        if self.table.contains_key(&site) {
+        if self.table.contains_key(site) {
             return;
         }
         if self.table.len() >= self.capacity {
-            // Evict the oldest entry (FIFO), deterministically.
-            if let Some((&victim, _)) = self.table.iter().min_by_key(|(_, &seq)| seq) {
-                self.table.remove(&victim);
+            // Evict the oldest entry (FIFO). Insertion sequence numbers are
+            // unique, so the min is deterministic whatever the scan order.
+            if let Some((victim, _)) = self.table.iter().min_by_key(|(_, &seq)| seq) {
+                self.table.remove(victim);
             }
         }
         self.table.insert(site, self.insert_seq);

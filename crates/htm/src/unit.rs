@@ -8,9 +8,8 @@ use crate::rmw::{OpSite, RmwPredictor};
 use crate::rwset::ReadWriteSets;
 use crate::signature::{SignatureConfig, SignaturePair};
 use crate::stats::{AbortCause, HtmStats};
-use puno_sim::{Cycle, Cycles, LineAddr, NodeId, StaticTxId, Timestamp, TxId};
+use puno_sim::{Cycle, Cycles, LineAddr, LineMap, NodeId, StaticTxId, Timestamp, TxId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Whether a transaction is running on the node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,11 +54,33 @@ pub struct TxContext {
     /// a stalled transaction burns no execution resources).
     pub stalled: Cycles,
     /// First load site per line this attempt (for RMW training).
-    loads: HashMap<LineAddr, OpSite>,
+    loads: LineMap<LineAddr, OpSite>,
     /// Optional Bloom signatures mirroring the footprint (signature-based
     /// conflict detection ablation; conflict answers then come from these,
     /// with alias false positives).
     signatures: Option<SignaturePair>,
+}
+
+/// Per-attempt structures recycled across begin/commit/abort so a retry
+/// storm reuses the same allocations instead of re-growing sets, logs and
+/// signature bit vectors on every attempt.
+#[derive(Debug)]
+struct TxScratch {
+    sets: ReadWriteSets,
+    undo: UndoLog,
+    loads: LineMap<LineAddr, OpSite>,
+    signatures: Option<SignaturePair>,
+}
+
+impl TxScratch {
+    fn fresh() -> Self {
+        Self {
+            sets: ReadWriteSets::new(),
+            undo: UndoLog::new(),
+            loads: LineMap::with_capacity(64),
+            signatures: None,
+        }
+    }
 }
 
 impl TxContext {
@@ -114,6 +135,8 @@ pub struct HtmUnit {
     /// When set, conflict detection answers from Bloom signatures of this
     /// geometry instead of the exact sets.
     signature_mode: Option<SignatureConfig>,
+    /// Recycled per-attempt state (None only while a transaction is active).
+    scratch: Option<TxScratch>,
     stats: HtmStats,
 }
 
@@ -125,6 +148,7 @@ impl HtmUnit {
             current: None,
             rmw,
             signature_mode: None,
+            scratch: Some(TxScratch::fresh()),
             stats: HtmStats::default(),
         }
     }
@@ -136,6 +160,10 @@ impl HtmUnit {
             "cannot switch modes mid-transaction"
         );
         self.signature_mode = Some(config);
+        // Any recycled signature pair may have the old geometry.
+        if let Some(s) = self.scratch.as_mut() {
+            s.signatures = None;
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -177,17 +205,30 @@ impl HtmUnit {
             "transaction already active on {:?}",
             self.node
         );
+        let mut scratch = self.scratch.take().unwrap_or_else(TxScratch::fresh);
+        scratch.sets.clear();
+        scratch.undo.clear();
+        scratch.loads.clear();
+        let signatures = self
+            .signature_mode
+            .map(|config| match scratch.signatures.take() {
+                Some(mut pair) => {
+                    pair.clear();
+                    pair
+                }
+                None => SignaturePair::new(config),
+            });
         self.current = Some(TxContext {
             tx,
             static_tx,
             timestamp,
             attempt_begin: now,
             prior_aborts,
-            sets: ReadWriteSets::new(),
-            undo: UndoLog::new(),
+            sets: scratch.sets,
+            undo: scratch.undo,
             stalled: 0,
-            loads: HashMap::new(),
-            signatures: self.signature_mode.map(SignaturePair::new),
+            loads: scratch.loads,
+            signatures,
         });
     }
 
@@ -204,7 +245,7 @@ impl HtmUnit {
         if let Some(sigs) = ctx.signatures.as_mut() {
             sigs.record_read(addr);
         }
-        ctx.loads.entry(addr).or_insert(site);
+        ctx.loads.get_or_insert_with(addr, || site);
     }
 
     /// Record a transactional store. `old_value` is the pre-store memory
@@ -218,7 +259,7 @@ impl HtmUnit {
         }
         ctx.undo.record(addr, old_value);
         if let Some(p) = self.rmw.as_mut() {
-            if let Some(&site) = ctx.loads.get(&addr) {
+            if let Some(&site) = ctx.loads.get(addr) {
                 p.train(site);
             }
         }
@@ -282,7 +323,7 @@ impl HtmUnit {
         let rollback: Vec<LogEntry> = ctx.undo.drain_rollback().collect();
         let penalty =
             self.abort_timing.base + self.abort_timing.per_log_entry * rollback.len() as u64;
-        AbortOutcome {
+        let out = AbortOutcome {
             rollback,
             penalty,
             write_set,
@@ -290,7 +331,9 @@ impl HtmUnit {
             tx: ctx.tx,
             timestamp: ctx.timestamp,
             static_tx: ctx.static_tx,
-        }
+        };
+        self.recycle(ctx);
+        out
     }
 
     /// Commit the active transaction.
@@ -299,12 +342,25 @@ impl HtmUnit {
         let length = ctx.elapsed(now);
         let effort = ctx.effort(now);
         self.stats.record_commit(effort);
-        CommitOutcome {
+        let out = CommitOutcome {
             length,
             effort,
             write_set: ctx.sets.writes().collect(),
             static_tx: ctx.static_tx,
-        }
+        };
+        self.recycle(ctx);
+        out
+    }
+
+    /// Return a finished attempt's structures to the scratch slot so the
+    /// next `begin` reuses their allocations.
+    fn recycle(&mut self, ctx: TxContext) {
+        self.scratch = Some(TxScratch {
+            sets: ctx.sets,
+            undo: ctx.undo,
+            loads: ctx.loads,
+            signatures: ctx.signatures,
+        });
     }
 }
 

@@ -1,0 +1,121 @@
+//! Property tests: the filtered inline+spill `ReadWriteSets` against a
+//! plain `BTreeSet` reference across randomized record/check/clear
+//! schedules.
+//!
+//! The rebuilt sets answer every conflict-detection probe on the protocol
+//! fast path; a false negative (filter or spill losing a member) would
+//! silently admit a conflicting access, and an iteration-order divergence
+//! would perturb the commit/abort write-set outcomes the golden metrics
+//! hash. Schedules are driven by the seeded `SimRng`, so any failure
+//! reproduces exactly.
+
+use puno_htm::rwset::ReadWriteSets;
+use puno_sim::{LineAddr, SimRng};
+use std::collections::BTreeSet;
+
+/// Small address universe: forces heavy inline-array reuse, spill
+/// promotion, and Bloom-filter aliasing within one schedule.
+const KEY_SPACE: u64 = 512;
+const OPS_PER_SCHEDULE: usize = 3_000;
+const SCHEDULES: u64 = 16;
+
+#[test]
+fn rwsets_match_btreeset_reference() {
+    for seed in 0..SCHEDULES {
+        let mut rng = SimRng::new(0x5E75 + seed);
+        let mut sets = ReadWriteSets::new();
+        let mut ref_reads: BTreeSet<u64> = BTreeSet::new();
+        let mut ref_writes: BTreeSet<u64> = BTreeSet::new();
+
+        for op in 0..OPS_PER_SCHEDULE {
+            let key = rng.gen_range(KEY_SPACE);
+            let addr = LineAddr(key);
+            match rng.gen_range(100) {
+                0..=29 => {
+                    sets.record_read(addr);
+                    ref_reads.insert(key);
+                }
+                30..=59 => {
+                    sets.record_write(addr);
+                    ref_writes.insert(key);
+                }
+                60..=94 => {
+                    // Membership and the conflict predicate must be exact —
+                    // the Bloom filter may only short-circuit negatives.
+                    assert_eq!(
+                        sets.in_read_set(addr),
+                        ref_reads.contains(&key),
+                        "seed {seed} op {op}: in_read_set({key}) diverged"
+                    );
+                    assert_eq!(
+                        sets.in_write_set(addr),
+                        ref_writes.contains(&key),
+                        "seed {seed} op {op}: in_write_set({key}) diverged"
+                    );
+                    for is_write in [false, true] {
+                        let want = if is_write {
+                            ref_reads.contains(&key) || ref_writes.contains(&key)
+                        } else {
+                            ref_writes.contains(&key)
+                        };
+                        assert_eq!(
+                            sets.conflicts_with(addr, is_write),
+                            want,
+                            "seed {seed} op {op}: conflicts_with({key}, {is_write}) diverged"
+                        );
+                    }
+                }
+                // Abort→retry: the O(1) generation clear must be complete.
+                _ => {
+                    sets.clear();
+                    ref_reads.clear();
+                    ref_writes.clear();
+                }
+            }
+            assert_eq!(sets.read_count(), ref_reads.len(), "seed {seed} op {op}");
+            assert_eq!(sets.write_count(), ref_writes.len(), "seed {seed} op {op}");
+        }
+
+        // Iteration must equal the BTreeSet's ascending order exactly — this
+        // is the order that feeds commit/abort write-set outcomes.
+        let got_reads: Vec<u64> = sets.reads().map(|a| a.0).collect();
+        let want_reads: Vec<u64> = ref_reads.iter().copied().collect();
+        assert_eq!(got_reads, want_reads, "seed {seed}: reads() order diverged");
+        let got_writes: Vec<u64> = sets.writes().map(|a| a.0).collect();
+        let want_writes: Vec<u64> = ref_writes.iter().copied().collect();
+        assert_eq!(
+            got_writes, want_writes,
+            "seed {seed}: writes() order diverged"
+        );
+    }
+}
+
+/// Many clear cycles with wide (spilling) footprints: no member of an
+/// earlier attempt may survive into a later one, and no later member may be
+/// lost — across enough rounds to cycle the spill's generation stamps and
+/// grow/reuse paths.
+#[test]
+fn rwsets_attempt_reuse_is_leakproof() {
+    let mut rng = SimRng::new(0xAB0A);
+    let mut sets = ReadWriteSets::new();
+    for round in 0..200u64 {
+        let footprint = 1 + rng.gen_range(64) as usize;
+        let mut want: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..footprint {
+            let key = round * 10_000 + rng.gen_range(256);
+            sets.record_write(LineAddr(key));
+            want.insert(key);
+        }
+        assert_eq!(sets.write_count(), want.len(), "round {round}");
+        let got: Vec<u64> = sets.writes().map(|a| a.0).collect();
+        let want_v: Vec<u64> = want.iter().copied().collect();
+        assert_eq!(got, want_v, "round {round}: write set diverged");
+        if round > 0 {
+            // A line from the previous attempt must not have leaked through.
+            assert!(!sets.in_write_set(LineAddr((round - 1) * 10_000)));
+        }
+        sets.clear();
+        assert_eq!(sets.write_count(), 0);
+        assert_eq!(sets.read_count(), 0);
+    }
+}

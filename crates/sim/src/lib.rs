@@ -20,6 +20,7 @@ pub mod clock;
 pub mod event;
 pub mod fault;
 pub mod ids;
+pub mod linemap;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -28,6 +29,7 @@ pub use clock::{Cycle, Cycles};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use ids::{LineAddr, NodeId, StaticTxId, Timestamp, TxId};
+pub use linemap::{LineKey, LineMap, LineSet};
 pub use rng::{SimRng, ZipfSampler};
 pub use stats::{Counter, Ewma, Histogram, RunningStats};
 pub use trace::TraceRing;

@@ -1,0 +1,165 @@
+//! Property tests: `LineMap`/`LineSet` against their std references across
+//! randomized insert/remove/contains/clear/iterate schedules.
+//!
+//! The hot-state containers replace `HashMap`/`BTreeSet` on the protocol
+//! fast path; any divergence from the reference semantics (lost keys after
+//! backward-shift deletion, stale members surviving a generation clear,
+//! wrong sorted order) is a correctness bug that would silently corrupt
+//! conflict detection. Schedules are driven by the seeded `SimRng`, so a
+//! failure reproduces exactly.
+
+use puno_sim::{LineAddr, LineMap, LineSet, SimRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// Small key universe so inserts, removes and probes collide constantly —
+/// collisions and probe-chain compaction are the interesting paths.
+const KEY_SPACE: u64 = 256;
+const OPS_PER_SCHEDULE: usize = 4_000;
+const SCHEDULES: u64 = 20;
+
+#[test]
+fn linemap_matches_hashmap_reference() {
+    for seed in 0..SCHEDULES {
+        let mut rng = SimRng::new(0xA11CE + seed);
+        let mut map: LineMap<LineAddr, u64> = LineMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+
+        for op in 0..OPS_PER_SCHEDULE {
+            let key = rng.gen_range(KEY_SPACE);
+            let addr = LineAddr(key);
+            match rng.gen_range(100) {
+                // Insert (also exercises replacement).
+                0..=44 => {
+                    let value = rng.next_u64();
+                    assert_eq!(
+                        map.insert(addr, value),
+                        reference.insert(key, value),
+                        "seed {seed} op {op}: insert({key}) prior value diverged"
+                    );
+                }
+                // Remove with backward-shift compaction.
+                45..=69 => {
+                    assert_eq!(
+                        map.remove(addr),
+                        reference.remove(&key),
+                        "seed {seed} op {op}: remove({key}) diverged"
+                    );
+                }
+                // Upsert.
+                70..=84 => {
+                    let bump = rng.gen_range(16);
+                    *map.get_or_insert_with(addr, || 0) += bump;
+                    *reference.entry(key).or_insert(0) += bump;
+                }
+                // Point lookups.
+                85..=97 => {
+                    assert_eq!(
+                        map.get(addr),
+                        reference.get(&key),
+                        "seed {seed} op {op}: get({key}) diverged"
+                    );
+                    assert_eq!(map.contains_key(addr), reference.contains_key(&key));
+                }
+                // Occasional full clear.
+                _ => {
+                    map.clear();
+                    reference.clear();
+                }
+            }
+            assert_eq!(map.len(), reference.len(), "seed {seed} op {op}: len");
+        }
+
+        // Full-state equivalence at end of schedule, including the sorted
+        // iteration order contract.
+        let mut want: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+        want.sort_unstable();
+        let got: Vec<(u64, u64)> = map
+            .sorted_keys()
+            .into_iter()
+            .map(|a| (a.0, *map.get(a).unwrap()))
+            .collect();
+        assert_eq!(got, want, "seed {seed}: final state diverged");
+
+        // Unordered iteration covers exactly the same pairs.
+        let mut unordered: Vec<(u64, u64)> = map.iter().map(|(k, &v)| (k.0, v)).collect();
+        unordered.sort_unstable();
+        assert_eq!(unordered, want, "seed {seed}: iter() coverage diverged");
+    }
+}
+
+#[test]
+fn lineset_matches_btreeset_reference() {
+    for seed in 0..SCHEDULES {
+        let mut rng = SimRng::new(0xBEE5 + seed);
+        let mut set: LineSet<LineAddr> = LineSet::new();
+        let mut reference: BTreeSet<u64> = BTreeSet::new();
+
+        for op in 0..OPS_PER_SCHEDULE {
+            let key = rng.gen_range(KEY_SPACE);
+            let addr = LineAddr(key);
+            match rng.gen_range(100) {
+                0..=49 => {
+                    assert_eq!(
+                        set.insert(addr),
+                        reference.insert(key),
+                        "seed {seed} op {op}: insert({key}) novelty diverged"
+                    );
+                }
+                50..=74 => {
+                    assert_eq!(
+                        set.remove(addr),
+                        reference.remove(&key),
+                        "seed {seed} op {op}: remove({key}) diverged"
+                    );
+                }
+                75..=94 => {
+                    assert_eq!(
+                        set.contains(addr),
+                        reference.contains(&key),
+                        "seed {seed} op {op}: contains({key}) diverged"
+                    );
+                }
+                // The clear path is the whole point of LineSet: hit it often
+                // so generation stamps cycle with stale slots in the table.
+                _ => {
+                    set.clear();
+                    reference.clear();
+                }
+            }
+            assert_eq!(set.len(), reference.len(), "seed {seed} op {op}: len");
+        }
+
+        // Sorted iteration must equal BTreeSet's ascending order exactly.
+        let want: Vec<u64> = reference.iter().copied().collect();
+        let got: Vec<u64> = set.sorted().into_iter().map(|a| a.0).collect();
+        assert_eq!(got, want, "seed {seed}: sorted order diverged");
+
+        let mut unordered: Vec<u64> = set.iter().map(|a| a.0).collect();
+        unordered.sort_unstable();
+        assert_eq!(unordered, want, "seed {seed}: iter() coverage diverged");
+    }
+}
+
+/// Pre-sized maps under heavy churn must never lose entries to the
+/// interaction of growth and backward-shift deletion.
+#[test]
+fn linemap_churn_with_presizing() {
+    let mut rng = SimRng::new(99);
+    let mut map: LineMap<u64, u64> = LineMap::with_capacity(64);
+    let mut reference: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..20_000 {
+        let key = rng.gen_range(64);
+        if rng.gen_bool(0.6) {
+            let v = rng.next_u64();
+            map.insert(key, v);
+            reference.insert(key, v);
+        } else {
+            assert_eq!(map.remove(key), reference.remove(&key));
+        }
+    }
+    let mut got: Vec<(u64, u64)> = map.iter().map(|(k, &v)| (k, v)).collect();
+    got.sort_unstable();
+    let mut want: Vec<(u64, u64)> = reference.into_iter().collect();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Substrate benchmark runner: times the simulation substrate (event queue,
-# NoC, directory, predictor structures) plus end-to-end system/throughput
-# runs, and emits a machine-readable BENCH_substrate.json.
+# NoC, directory, predictor structures, hot-state containers: rwset/linemap/
+# l1) plus end-to-end system/throughput runs, and emits a machine-readable
+# BENCH_substrate.json.
 #
 # Usage: scripts/bench.sh [out.json]
 #
 # Environment passthrough (see crates/bench/benches/substrate.rs):
 #   BENCH_SUBSTRATE_ITERS      smoke | float multiplier (default full-size)
 #   BENCH_SUBSTRATE_BASELINE   compare against a prior JSON, fail on >25%
-#                              slowdown per benchmark
+#                              slowdown per benchmark or missing-key drift
 #   PUNO_BENCH_ALLOW_REGRESSION=1  demote baseline failures to warnings
 set -euo pipefail
 cd "$(dirname "$0")/.."

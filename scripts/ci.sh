@@ -15,10 +15,15 @@ echo "== cargo test =="
 cargo test --offline --workspace -q
 
 echo "== fault smoke (0.05 scale, intensity 1.0) =="
-cargo run --offline --release -q -p puno-harness --bin fault_smoke -- 0.05 1.0 1
+# PUNO_SWEEP_THREADS pins the sweep's worker count so CI machine load is
+# reproducible (per-cell results are deterministic at any thread count).
+PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin fault_smoke -- 0.05 1.0 1
 
 echo "== substrate bench smoke (vs checked-in baseline) =="
-# Fails if any benchmark runs >25% slower than results/BENCH_substrate_baseline.json.
+# Fails if any benchmark runs >25% slower than results/BENCH_substrate_baseline.json,
+# or on missing-key drift in either direction (a benchmark added without a
+# baseline refresh, or one that silently vanished from the run).
 # On a noisy/shared machine, set PUNO_BENCH_ALLOW_REGRESSION=1 to demote the
 # failure to a warning; refresh the baseline with:
 #   BENCH_SUBSTRATE_ITERS=smoke scripts/bench.sh results/BENCH_substrate_baseline.json
