@@ -382,7 +382,13 @@ fn bench_hot_state(h: &mut Harness) {
 /// of at least 2x simulated cycles/sec). Also reported as us/iter so the
 /// baseline comparison treats it like every other benchmark.
 fn bench_system_throughput(h: &mut Harness) {
-    for workload in [WorkloadId::Genome, WorkloadId::Kmeans, WorkloadId::Ssca2] {
+    for workload in [
+        WorkloadId::Genome,
+        WorkloadId::Kmeans,
+        WorkloadId::Ssca2,
+        WorkloadId::Vacation,
+        WorkloadId::Intruder,
+    ] {
         let params = workload.params().scaled(0.05);
         let name = format!("system/throughput/{}", workload.name());
         let mut sim_cycles = 0u64;
@@ -401,6 +407,26 @@ fn bench_system_throughput(h: &mut Harness) {
     }
 }
 
+/// Wall-clock of the thread-parallel sweep driver's cold path: shared
+/// program generation, recycled worker `System`s, and cost-aware job
+/// ordering, with the result cache explicitly disabled so the simulate
+/// path (not replay) is what gets timed.
+fn bench_sweep(h: &mut Harness) {
+    use puno_harness::sweep::{try_sweep, SweepOptions};
+    let workloads = [
+        WorkloadId::Genome,
+        WorkloadId::Kmeans,
+        WorkloadId::Ssca2,
+        WorkloadId::Vacation,
+    ];
+    h.bench("sweep/8cell_cold_scale0.05", 3, move || {
+        let mut opts = SweepOptions::new(1, 0.05);
+        opts.result_cache = None;
+        let outcomes = try_sweep(&workloads, &[Mechanism::Baseline, Mechanism::Puno], &opts);
+        black_box(outcomes.iter().filter(|o| o.is_ok()).count() as u64)
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_event_queue(&mut h);
@@ -411,6 +437,7 @@ fn main() {
     bench_txlb(&mut h);
     bench_hot_state(&mut h);
     bench_system_throughput(&mut h);
+    bench_sweep(&mut h);
 
     if let Ok(path) = std::env::var("BENCH_SUBSTRATE_JSON") {
         h.write_json(&path);

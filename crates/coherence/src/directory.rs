@@ -24,7 +24,7 @@ use puno_sim::{Cycle, Cycles, LineAddr, LineMap, NodeId};
 use std::collections::VecDeque;
 
 /// Directory/L2 timing knobs (Table II).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DirConfig {
     /// L2 bank access latency for data responses.
     pub l2_latency: Cycles,
@@ -156,6 +156,13 @@ impl DirectoryBank {
 
     pub fn stats(&self) -> &DirStats {
         &self.stats
+    }
+
+    /// Drop every directory entry and zero the stats, keeping the entry
+    /// table's allocation. Equivalent to `DirectoryBank::new(home, config)`.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = DirStats::default();
     }
 
     pub fn home(&self) -> NodeId {

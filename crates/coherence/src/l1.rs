@@ -33,7 +33,7 @@ impl LineState {
 }
 
 /// L1 geometry.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L1Config {
     pub sets: u32,
     pub ways: u32,
@@ -102,6 +102,18 @@ impl L1Cache {
             ways: vec![None; (config.sets * config.ways) as usize],
             tick: 0,
         }
+    }
+
+    /// Empty every set and rewind the LRU clock, keeping the tag-array
+    /// allocation. Equivalent to `L1Cache::new(self.config)`.
+    pub fn reset(&mut self) {
+        self.ways.fill(None);
+        self.tick = 0;
+    }
+
+    /// The cache's geometry (lets recyclers decide reset vs rebuild).
+    pub fn config(&self) -> L1Config {
+        self.config
     }
 
     #[inline]

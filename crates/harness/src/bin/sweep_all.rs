@@ -1,54 +1,133 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
-//! Usage: sweep_all [scale] [seed]
+//! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism>]
+//!
+//! `--filter` restricts the grid: an argument matching a workload name
+//! (substring, case-insensitive) keeps only those workloads; one matching a
+//! mechanism name keeps only those mechanisms. With `PUNO_RESULT_CACHE`
+//! set, unchanged cells replay from the persistent cache (stats go to
+//! stderr; stdout stays byte-identical between a cold and a warm run).
 
 use puno_harness::report::{render_host_perf, FigureMetric, NormalizedFigure};
 use puno_harness::sweep::sweep;
 use puno_harness::Mechanism;
 use puno_workloads::{table1_rows, WorkloadId};
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let t0 = std::time::Instant::now();
-    let results = sweep(&WorkloadId::ALL, &Mechanism::ALL, seed, scale);
-    eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
+struct Args {
+    scale: f64,
+    seed: u64,
+    workloads: Vec<WorkloadId>,
+    mechanisms: Vec<Mechanism>,
+}
 
-    println!("== Table I check (baseline abort rates) ==");
-    for row in table1_rows() {
-        let m = puno_harness::sweep::find_expect(&results, row.workload, Mechanism::Baseline);
-        let rate = m.htm.abort_rate() * 100.0;
-        let (lo, hi) = row.expected_abort_band;
-        let ok = rate >= lo && rate <= hi;
-        println!(
-            "{:<10} paper {:>5.1}%  ours {:>5.1}%  band [{:>4.1}, {:>5.1}] {}",
-            row.workload.name(),
-            row.paper_abort_pct,
-            rate,
-            lo,
-            hi,
-            if ok { "ok" } else { "OUT OF BAND" }
+fn parse_args() -> Args {
+    let mut positional: Vec<String> = Vec::new();
+    let mut filters: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--filter" {
+            let Some(value) = argv.next() else {
+                eprintln!("--filter requires a value (a workload or mechanism name)");
+                std::process::exit(2);
+            };
+            filters.push(value.to_ascii_lowercase());
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut workloads: Vec<WorkloadId> = WorkloadId::ALL.to_vec();
+    let mut mechanisms: Vec<Mechanism> = Mechanism::ALL.to_vec();
+    for f in &filters {
+        let wl: Vec<WorkloadId> = WorkloadId::ALL
+            .iter()
+            .copied()
+            .filter(|w| w.name().to_ascii_lowercase().contains(f))
+            .collect();
+        let mech: Vec<Mechanism> = Mechanism::ALL
+            .iter()
+            .copied()
+            .filter(|m| m.name().to_ascii_lowercase().contains(f))
+            .collect();
+        if !wl.is_empty() {
+            workloads.retain(|w| wl.contains(w));
+        } else if !mech.is_empty() {
+            mechanisms.retain(|m| mech.contains(m));
+        } else {
+            let w_names: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.name()).collect();
+            let m_names: Vec<&str> = Mechanism::ALL.iter().map(|m| m.name()).collect();
+            eprintln!(
+                "--filter {f:?} matches no workload {w_names:?} and no mechanism {m_names:?}"
+            );
+            std::process::exit(2);
+        }
+    }
+    Args {
+        scale: positional
+            .first()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.5),
+        seed: positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1),
+        workloads,
+        mechanisms,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    let results = sweep(&args.workloads, &args.mechanisms, args.seed, args.scale);
+    eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(cache) = puno_harness::global_cache() {
+        let s = cache.stats();
+        eprintln!(
+            "result cache: {} hits, {} misses, {} stored ({} entries)",
+            s.hits, s.misses, s.stores, s.entries
         );
     }
-    println!("\n== Figure 2: false-aborting fraction of TxGETX (baseline) ==");
-    for &w in &WorkloadId::ALL {
-        let m = puno_harness::sweep::find_expect(&results, w, Mechanism::Baseline);
-        println!(
-            "{:<10} {:>5.1}%  (victims/episode mean {:.2})",
-            w.name(),
-            m.oracle.false_abort_fraction() * 100.0,
-            m.oracle.victims_per_episode.mean()
-        );
+
+    if args.mechanisms.contains(&Mechanism::Baseline) {
+        println!("== Table I check (baseline abort rates) ==");
+        for row in table1_rows() {
+            if !args.workloads.contains(&row.workload) {
+                continue;
+            }
+            let m = puno_harness::sweep::find_expect(&results, row.workload, Mechanism::Baseline);
+            let rate = m.htm.abort_rate() * 100.0;
+            let (lo, hi) = row.expected_abort_band;
+            let ok = rate >= lo && rate <= hi;
+            println!(
+                "{:<10} paper {:>5.1}%  ours {:>5.1}%  band [{:>4.1}, {:>5.1}] {}",
+                row.workload.name(),
+                row.paper_abort_pct,
+                rate,
+                lo,
+                hi,
+                if ok { "ok" } else { "OUT OF BAND" }
+            );
+        }
+        println!("\n== Figure 2: false-aborting fraction of TxGETX (baseline) ==");
+        for &w in &args.workloads {
+            let m = puno_harness::sweep::find_expect(&results, w, Mechanism::Baseline);
+            println!(
+                "{:<10} {:>5.1}%  (victims/episode mean {:.2})",
+                w.name(),
+                m.oracle.false_abort_fraction() * 100.0,
+                m.oracle.victims_per_episode.mean()
+            );
+        }
     }
-    for metric in [
-        FigureMetric::Aborts,
-        FigureMetric::NetworkTraffic,
-        FigureMetric::DirectoryBlocking,
-        FigureMetric::ExecutionTime,
-        FigureMetric::GdRatio,
-    ] {
-        let fig = NormalizedFigure::build(metric, &results, &WorkloadId::ALL, &Mechanism::ALL);
-        println!("\n{}", fig.render());
+    // The figures are baseline-normalized; a mechanism filter that drops
+    // the baseline leaves nothing to normalize against.
+    if args.mechanisms.contains(&Mechanism::Baseline) {
+        for metric in [
+            FigureMetric::Aborts,
+            FigureMetric::NetworkTraffic,
+            FigureMetric::DirectoryBlocking,
+            FigureMetric::ExecutionTime,
+            FigureMetric::GdRatio,
+        ] {
+            let fig = NormalizedFigure::build(metric, &results, &args.workloads, &args.mechanisms);
+            println!("\n{}", fig.render());
+        }
     }
     println!("{}", render_host_perf(&results));
 }

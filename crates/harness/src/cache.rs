@@ -1,0 +1,454 @@
+//! Persistent result cache and sweep cost model.
+//!
+//! Every simulated cell is a pure function of `(SystemConfig, WorkloadParams,
+//! seed)` — so once a cell has run, re-running it (another `regen_all.sh`
+//! figure binary, a resumed sweep, a sensitivity point sharing a
+//! configuration) is pure waste. The [`ResultCache`] memoizes fault-free
+//! successful runs in an append-only JSONL file keyed by a content digest of
+//! the full cell identity plus [`ENGINE_VERSION`]; bumping the version
+//! invalidates every cached cell at once, which is the required response to
+//! *any* change in simulated behaviour (the golden snapshots catch those).
+//!
+//! Alongside the results, the cache directory accumulates per-cell host
+//! wall-clocks (`costs.jsonl`). The [`CostModel`] folds them into
+//! per-(workload, mechanism) per-transaction cost estimates used by the
+//! sweep driver to order its job queue longest-first (LPT), so the most
+//! expensive cells start first and stragglers do not serialize the tail.
+
+use crate::config::SystemConfig;
+use crate::metrics::RunMetrics;
+use puno_workloads::{fnv1a_64, WorkloadParams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version of the simulation engine for cache-key purposes. Bump on ANY
+/// change that can alter a `RunMetrics` field for some cell — the digest
+/// covers the configuration and workload inputs, but only this constant
+/// covers the code. (The golden snapshot suite is the detector: if it needs
+/// a re-bless, this needs a bump.)
+pub const ENGINE_VERSION: u32 = 1;
+
+/// Content digest identifying one simulation cell: the full system
+/// configuration, the workload parameters, the seed, and the engine
+/// version, hashed FNV-1a over their canonical `Debug` representations
+/// (every field of both structs appears in `Debug`, so any perturbation —
+/// including ones that cannot change behaviour, which merely over-
+/// invalidates — changes the digest).
+pub fn cell_digest(config: &SystemConfig, params: &WorkloadParams, seed: u64) -> u64 {
+    let repr = format!("engine-v{ENGINE_VERSION}|{config:?}|{params:?}|seed={seed}");
+    fnv1a_64(repr.as_bytes())
+}
+
+/// One persisted cache entry (one JSONL line).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheRecord {
+    pub digest: u64,
+    pub workload: String,
+    pub mechanism: String,
+    pub seed: u64,
+    pub metrics: RunMetrics,
+}
+
+/// One persisted cost observation (one JSONL line in `costs.jsonl`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostRecord {
+    pub workload: String,
+    pub mechanism: String,
+    /// Transactions per node of the observed run — wall-clock is stored
+    /// alongside it so the model learns a *per-transaction* cost and stays
+    /// scale-invariant across sweeps at different `--scale` values.
+    pub tx_per_node: u32,
+    pub wall_secs: f64,
+}
+
+/// Cache hit/miss/store counters (host-side observability only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+    pub entries: u64,
+}
+
+/// Append-only persistent store of fault-free run results, keyed by
+/// [`cell_digest`]. Loads the whole JSONL file at open (last record wins,
+/// torn trailing lines skipped), then serves lookups from memory and
+/// appends new results as they complete. Thread-safe: the sweep's worker
+/// threads share one instance.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    entries: Mutex<HashMap<u64, RunMetrics>>,
+    file: Mutex<std::fs::File>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultCache {
+    fn results_path(dir: &Path) -> PathBuf {
+        dir.join("results.jsonl")
+    }
+
+    fn costs_path(&self) -> PathBuf {
+        self.dir.join("costs.jsonl")
+    }
+
+    /// Open (creating if needed) the cache rooted at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::results_path(dir);
+        let mut entries = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                if let Ok(rec) = serde_json::from_str::<CacheRecord>(line) {
+                    entries.insert(rec.digest, rec.metrics);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            entries: Mutex::new(entries),
+            file: Mutex::new(file),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// Look a cell up by digest; counts a hit or a miss.
+    pub fn lookup(&self, digest: u64) -> Option<RunMetrics> {
+        let found = self.entries.lock().unwrap().get(&digest).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Persist one finished cell. Idempotent per digest: a digest already
+    /// in memory is not re-appended (keeps warm re-runs from growing the
+    /// file).
+    pub fn store(&self, digest: u64, seed: u64, metrics: &RunMetrics) {
+        {
+            let mut entries = self.entries.lock().unwrap();
+            if entries.contains_key(&digest) {
+                return;
+            }
+            entries.insert(digest, metrics.clone());
+        }
+        let rec = CacheRecord {
+            digest,
+            workload: metrics.workload.clone(),
+            mechanism: metrics.mechanism.clone(),
+            seed,
+            metrics: metrics.clone(),
+        };
+        let line = serde_json::to_string(&rec).expect("cache record must serialize");
+        let mut f = self.file.lock().unwrap();
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len() as u64,
+        }
+    }
+
+    /// Fold the persisted cost observations into a [`CostModel`].
+    pub fn load_costs(&self) -> CostModel {
+        let mut model = CostModel::default();
+        if let Ok(text) = std::fs::read_to_string(self.costs_path()) {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                if let Ok(rec) = serde_json::from_str::<CostRecord>(line) {
+                    model.observe(
+                        &rec.workload,
+                        &rec.mechanism,
+                        rec.tx_per_node,
+                        rec.wall_secs,
+                    );
+                }
+            }
+        }
+        model
+    }
+
+    /// Append cost observations from a finished sweep.
+    pub fn append_costs(&self, records: &[CostRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for rec in records {
+            let line = serde_json::to_string(rec).expect("cost record must serialize");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.costs_path())
+        {
+            let _ = f.write_all(out.as_bytes());
+        }
+    }
+}
+
+/// The process-wide cache configured by the `PUNO_RESULT_CACHE` environment
+/// variable (a directory path; unset, empty, `0`, or `off` disables it).
+/// Resolved once per process: scripts set the variable before launch.
+pub fn global_cache() -> Option<Arc<ResultCache>> {
+    static CACHE: OnceLock<Option<Arc<ResultCache>>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let dir = std::env::var("PUNO_RESULT_CACHE").ok()?;
+            let dir = dir.trim();
+            if dir.is_empty() || dir == "0" || dir.eq_ignore_ascii_case("off") {
+                return None;
+            }
+            match ResultCache::open(Path::new(dir)) {
+                Ok(cache) => Some(Arc::new(cache)),
+                Err(e) => {
+                    eprintln!("warning: PUNO_RESULT_CACHE={dir} unusable ({e}); caching disabled");
+                    None
+                }
+            }
+        })
+        .clone()
+}
+
+/// Per-(workload, mechanism) cost estimator for sweep job ordering. Learned
+/// observations dominate; cells never seen before fall back to a
+/// parameter-derived heuristic (expected transactional operations per run),
+/// scaled into pseudo-seconds so mixed observed/heuristic queues still
+/// order sensibly. Only *relative* order matters to the scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct CostModel {
+    /// (workload, mechanism) -> (sum of per-transaction wall secs, count).
+    per_tx: HashMap<(String, String), (f64, u64)>,
+}
+
+/// Rough host seconds per simulated transactional operation (heuristic
+/// fallback scale; commensurate with observed costs only to first order).
+const HEURISTIC_SECS_PER_OP: f64 = 2e-6;
+
+impl CostModel {
+    /// Record one observed cell wall-clock.
+    pub fn observe(&mut self, workload: &str, mechanism: &str, tx_per_node: u32, wall_secs: f64) {
+        if tx_per_node == 0 || !wall_secs.is_finite() || wall_secs <= 0.0 {
+            return;
+        }
+        let entry = self
+            .per_tx
+            .entry((workload.to_string(), mechanism.to_string()))
+            .or_insert((0.0, 0));
+        entry.0 += wall_secs / tx_per_node as f64;
+        entry.1 += 1;
+    }
+
+    /// Estimated wall-clock for one cell, in (pseudo-)seconds.
+    pub fn estimate(&self, workload: &str, mechanism: &str, params: &WorkloadParams) -> f64 {
+        let key = (workload.to_string(), mechanism.to_string());
+        if let Some(&(sum, n)) = self.per_tx.get(&key) {
+            if n > 0 {
+                return (sum / n as f64) * params.tx_per_node as f64;
+            }
+        }
+        Self::heuristic(params)
+    }
+
+    /// Parameter-derived fallback: expected transactional + non-transactional
+    /// operations per node-run, scaled to pseudo-seconds.
+    fn heuristic(params: &WorkloadParams) -> f64 {
+        let weight_sum: f64 = params
+            .static_txs
+            .iter()
+            .map(|t| t.weight)
+            .sum::<f64>()
+            .max(1e-9);
+        let ops_per_tx: f64 = params
+            .static_txs
+            .iter()
+            .map(|t| {
+                let reads = (t.reads.0 + t.reads.1) as f64 / 2.0;
+                let writes = (t.writes.0 + t.writes.1) as f64 / 2.0;
+                t.weight * (reads + writes)
+            })
+            .sum::<f64>()
+            / weight_sum;
+        let ops = params.tx_per_node as f64 * (ops_per_tx + params.non_tx_accesses as f64);
+        ops * HEURISTIC_SECS_PER_OP
+    }
+
+    pub fn observation_count(&self) -> u64 {
+        self.per_tx.values().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::Mechanism;
+    use crate::run::run_workload;
+    use puno_workloads::WorkloadId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("puno-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let d = cell_digest(&config, &params, 42);
+        assert_eq!(d, cell_digest(&config, &params, 42), "digest must be pure");
+
+        // Every component of the cell identity must perturb the digest.
+        let mut seen = vec![d];
+        seen.push(cell_digest(&config, &params, 43));
+        seen.push(cell_digest(
+            &SystemConfig::paper(Mechanism::Puno),
+            &params,
+            42,
+        ));
+        seen.push(cell_digest(
+            &config,
+            &WorkloadId::Ssca2.params().scaled(0.1),
+            42,
+        ));
+        seen.push(cell_digest(
+            &config,
+            &WorkloadId::Kmeans.params().scaled(0.05),
+            42,
+        ));
+        let mut cfg2 = config;
+        cfg2.commit_latency += 1;
+        seen.push(cell_digest(&cfg2, &params, 42));
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "digest collision: {seen:?}");
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips_bit_identically() {
+        let dir = temp_dir("roundtrip");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.lookup(digest).is_none());
+        cache.store(digest, 9, &metrics);
+        // Same process, memory-served.
+        let replay = cache.lookup(digest).expect("stored cell must hit");
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&metrics).unwrap(),
+        );
+        // Fresh open: disk-served (a new process would see this).
+        let reopened = ResultCache::open(&dir).unwrap();
+        let replay = reopened.lookup(digest).expect("persisted cell must hit");
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&metrics).unwrap(),
+        );
+        assert_eq!(reopened.stats().entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_is_idempotent_per_digest() {
+        let dir = temp_dir("idempotent");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(digest, 9, &metrics);
+        cache.store(digest, 9, &metrics);
+        cache.store(digest, 9, &metrics);
+        assert_eq!(cache.stats().stores, 1);
+        let lines = std::fs::read_to_string(ResultCache::results_path(&dir))
+            .unwrap()
+            .lines()
+            .count();
+        assert_eq!(lines, 1, "duplicate digests must not grow the file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_on_load() {
+        let dir = temp_dir("torn");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.store(digest, 9, &metrics);
+        }
+        // Simulate a crash mid-append.
+        let path = ResultCache::results_path(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"digest\": 123, \"workl");
+        std::fs::write(&path, text).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.lookup(digest).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_model_learns_per_transaction_costs() {
+        let mut model = CostModel::default();
+        let params_small = WorkloadId::Genome.params().scaled(0.05);
+        let params_large = WorkloadId::Genome.params().scaled(0.5);
+        // Heuristic fallback scales with tx_per_node.
+        let h_small = model.estimate("genome", "baseline", &params_small);
+        let h_large = model.estimate("genome", "baseline", &params_large);
+        assert!(h_large > h_small);
+
+        // An observation at one scale predicts proportionally at another.
+        model.observe("genome", "baseline", params_small.tx_per_node, 2.0);
+        let per_tx = 2.0 / params_small.tx_per_node as f64;
+        let predicted = model.estimate("genome", "baseline", &params_large);
+        let expected = per_tx * params_large.tx_per_node as f64;
+        assert!((predicted - expected).abs() < 1e-9);
+        assert_eq!(model.observation_count(), 1);
+    }
+
+    #[test]
+    fn costs_persist_through_the_cache_dir() {
+        let dir = temp_dir("costs");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.append_costs(&[CostRecord {
+            workload: "genome".into(),
+            mechanism: "puno".into(),
+            tx_per_node: 100,
+            wall_secs: 3.0,
+        }]);
+        let model = ResultCache::open(&dir).unwrap().load_costs();
+        assert_eq!(model.observation_count(), 1);
+        let params = WorkloadId::Genome.params();
+        let est = model.estimate("genome", "puno", &params);
+        assert!((est - 0.03 * params.tx_per_node as f64).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -7,6 +7,7 @@
 //! per (workload, mechanism, seed)), a thread-parallel sweep driver, and the
 //! report formatting that regenerates the paper's tables and figures.
 
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod invariants;
@@ -21,6 +22,7 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod system;
 
+pub use cache::{cell_digest, global_cache, CostModel, ResultCache, ENGINE_VERSION};
 pub use config::SystemConfig;
 pub use error::RunError;
 pub use mechanism::Mechanism;

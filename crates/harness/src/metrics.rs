@@ -31,6 +31,10 @@ pub struct HostPerf {
     /// behaviour); low values mean the occupancy structure is skipping idle
     /// routers.
     pub noc_active_scan_ratio: f64,
+    /// Effective worker-thread count of the sweep that produced this run
+    /// (see `sweep::effective_workers`); 0 for standalone runs outside a
+    /// sweep.
+    pub sweep_workers: u64,
 }
 
 impl HostPerf {

@@ -244,8 +244,14 @@ pub fn render_host_perf(results: &[SweepResult]) -> String {
         .iter()
         .map(|r| r.metrics.host.events_dispatched)
         .sum();
+    let workers = results
+        .iter()
+        .map(|r| r.metrics.host.sweep_workers)
+        .max()
+        .unwrap_or(0);
     out.push_str(&format!(
-        "total: {wall:.3}s host wall-clock, {events} events dispatched\n"
+        "total: {wall:.3}s host wall-clock, {events} events dispatched, \
+         {workers} sweep worker(s)\n"
     ));
     out
 }

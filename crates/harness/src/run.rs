@@ -44,6 +44,29 @@ pub fn run_with_config(config: SystemConfig, params: &WorkloadParams, seed: u64)
     System::new(config, params, seed).run()
 }
 
+/// [`run_with_config`] through the process-wide result cache (see
+/// [`crate::cache::global_cache`]): with `PUNO_RESULT_CACHE` set, a cell
+/// whose `(config, params, seed, engine-version)` digest is already stored
+/// replays the persisted metrics without simulating; fresh results are
+/// stored on completion. Without the env var this is exactly
+/// [`run_with_config`].
+pub fn run_with_config_cached(
+    config: SystemConfig,
+    params: &WorkloadParams,
+    seed: u64,
+) -> RunMetrics {
+    let Some(cache) = crate::cache::global_cache() else {
+        return run_with_config(config, params, seed);
+    };
+    let digest = crate::cache::cell_digest(&config, params, seed);
+    if let Some(metrics) = cache.lookup(digest) {
+        return metrics;
+    }
+    let metrics = run_with_config(config, params, seed);
+    cache.store(digest, seed, &metrics);
+    metrics
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

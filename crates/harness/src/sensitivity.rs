@@ -5,7 +5,7 @@
 use crate::config::SystemConfig;
 use crate::mechanism::Mechanism;
 use crate::metrics::RunMetrics;
-use crate::run::run_with_config;
+use crate::run::run_with_config_cached;
 use puno_workloads::WorkloadId;
 use serde::Serialize;
 
@@ -53,9 +53,12 @@ fn run_point(
     scale: f64,
     seed: u64,
 ) -> SensitivityPoint {
+    // Cache-aware: sensitivity grids share many cells with prior sweeps and
+    // with each other (every grid includes the paper-default point), so a
+    // populated `PUNO_RESULT_CACHE` skips the overlap.
     let runs: Vec<RunMetrics> = workloads
         .iter()
-        .map(|w| run_with_config(config, &w.params().scaled(scale), seed))
+        .map(|w| run_with_config_cached(config, &w.params().scaled(scale), seed))
         .collect();
     SensitivityPoint::from_runs(label.to_string(), &runs)
 }

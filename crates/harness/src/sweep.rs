@@ -10,17 +10,20 @@
 //! appended to a JSONL file as they complete, and a re-run resumes from it,
 //! skipping cells that already succeeded.
 
+use crate::cache::{cell_digest, global_cache, CostRecord, ResultCache};
 use crate::error::RunError;
 use crate::metrics::RunMetrics;
 use crate::system::System;
 use crate::{Mechanism, SystemConfig};
 use puno_sim::FaultPlan;
-use puno_workloads::{WorkloadId, WorkloadParams};
+use puno_workloads::{params_digest, ProgramSet, WorkloadId, WorkloadParams};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One sweep cell: the workload, the mechanism, and the run result.
 #[derive(Clone, Debug)]
@@ -100,6 +103,13 @@ pub struct SweepOptions {
     /// an existing file's successful cells are skipped on resume (failed
     /// cells are re-attempted).
     pub checkpoint: Option<PathBuf>,
+    /// Persistent result cache (see [`crate::cache`]): fault-free cells
+    /// whose digest is present replay the stored metrics instead of
+    /// simulating; fresh results are stored as they complete. Also the
+    /// source of the cost model behind the longest-first job ordering.
+    /// [`SweepOptions::new`] wires in the process-wide `PUNO_RESULT_CACHE`
+    /// cache; tests inject their own.
+    pub result_cache: Option<Arc<ResultCache>>,
 }
 
 impl SweepOptions {
@@ -110,6 +120,7 @@ impl SweepOptions {
             fault_plan: FaultPlan::none(),
             retries: 0,
             checkpoint: None,
+            result_cache: global_cache(),
         }
     }
 }
@@ -117,28 +128,77 @@ impl SweepOptions {
 /// Messages kept in the trace ring when a retry runs traced.
 const RETRY_TRACE_CAPACITY: usize = 512;
 
+thread_local! {
+    /// One long-lived `System` per sweep worker thread: `try_sweep` resets
+    /// it between cells (validated bit-identical to fresh construction)
+    /// instead of reconstructing, keeping the LineMaps, event queue, NoC
+    /// buffers, and per-node scratch allocations warm across the sweep.
+    static WORKER_SYSTEM: RefCell<Option<System>> = const { RefCell::new(None) };
+}
+
 /// Run `workloads x mechanisms` under `opts`, containing per-cell failures.
 /// Outcomes come back in deterministic (workload-major) order regardless of
 /// worker scheduling or resume state.
+///
+/// The cell body is the sweep-scale fast path: each workload's trace is
+/// generated once per `(params, seed)` and shared immutably across its
+/// mechanism cells and retries; each worker thread recycles one `System`
+/// across the cells it runs; and with a result cache configured, fault-free
+/// cells whose inputs are unchanged replay their stored metrics without
+/// simulating at all. All three paths are bit-identical to a fresh
+/// `System::new(..).try_run()` per cell.
 pub fn try_sweep(
     workloads: &[WorkloadId],
     mechanisms: &[Mechanism],
     opts: &SweepOptions,
 ) -> Vec<CellOutcome> {
+    let programs: Mutex<HashMap<(u64, u64), Arc<ProgramSet>>> = Mutex::new(HashMap::new());
+    let cache = opts.result_cache.clone();
+    // Fault plans perturb simulated behaviour, so those runs are neither
+    // served from nor stored into the cache.
+    let cacheable = opts.fault_plan.is_empty();
     try_sweep_with(
         workloads,
         mechanisms,
         opts,
-        |mechanism, params, seed, traced| {
+        move |mechanism, params, seed, traced| {
             let config = SystemConfig::paper(mechanism);
-            let mut sys = System::new(config, params, seed);
-            if traced {
-                sys.enable_trace(RETRY_TRACE_CAPACITY);
+            let digest = cell_digest(&config, params, seed);
+            if cacheable {
+                if let Some(cache) = &cache {
+                    if let Some(metrics) = cache.lookup(digest) {
+                        return Ok(metrics);
+                    }
+                }
             }
-            if !opts.fault_plan.is_empty() {
-                sys.set_fault_plan(opts.fault_plan.clone());
+            let program_set = {
+                let key = (params_digest(params), seed);
+                let mut map = programs.lock().unwrap();
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(ProgramSet::generate(params, config.nodes(), seed)))
+                    .clone()
+            };
+            let metrics = WORKER_SYSTEM.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                match slot.as_mut() {
+                    Some(sys) => sys.reset(config, params, seed, &program_set),
+                    None => *slot = Some(System::new_shared(config, params, seed, &program_set)),
+                }
+                let sys = slot.as_mut().expect("worker System just installed");
+                if traced {
+                    sys.enable_trace(RETRY_TRACE_CAPACITY);
+                }
+                if !opts.fault_plan.is_empty() {
+                    sys.set_fault_plan(opts.fault_plan.clone());
+                }
+                sys.try_run_recycled()
+            })?;
+            if cacheable {
+                if let Some(cache) = &cache {
+                    cache.store(digest, seed, &metrics);
+                }
             }
-            sys.try_run()
+            Ok(metrics)
         },
     )
 }
@@ -189,7 +249,30 @@ where
                 .cloned()
         })
         .collect();
-    let jobs: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+    let mut jobs: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+
+    // Cost-aware scheduling: order the queue longest-estimated-first (LPT)
+    // so the expensive cells start immediately and a straggler cannot end
+    // up alone at the tail of the sweep with every other worker idle.
+    // Estimates come from prior cell wall-clocks persisted next to the
+    // result cache, falling back to a parameter-derived heuristic for
+    // never-seen cells; ties (and the no-information case) preserve the
+    // original deterministic cell order. Output order is unaffected.
+    let cost_model = opts
+        .result_cache
+        .as_deref()
+        .map(ResultCache::load_costs)
+        .unwrap_or_default();
+    let estimates: Vec<f64> = cells
+        .iter()
+        .map(|(key, params)| cost_model.estimate(key.workload.name(), key.mechanism.name(), params))
+        .collect();
+    jobs.sort_by(|&a, &b| {
+        estimates[b]
+            .partial_cmp(&estimates[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
 
     let checkpoint_file: Option<Mutex<std::fs::File>> = opts.checkpoint.as_deref().map(|path| {
         Mutex::new(
@@ -203,7 +286,7 @@ where
 
     let done: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = sweep_threads().min(jobs.len().max(1));
+    let threads = effective_workers(jobs.len());
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -226,31 +309,60 @@ where
         }
     });
 
+    // Feed observed wall-clocks back into the persisted cost model (only
+    // cells that actually ran this sweep; resumed cells are skipped).
+    let mut cost_records: Vec<CostRecord> = Vec::new();
     for (i, outcome) in done.into_inner().unwrap() {
+        if let CellOutcome::Ok { key, metrics } = &outcome {
+            if metrics.host.wall_secs > 0.0 {
+                cost_records.push(CostRecord {
+                    workload: key.workload.name().to_string(),
+                    mechanism: key.mechanism.name().to_string(),
+                    tx_per_node: cells[i].1.tx_per_node,
+                    wall_secs: metrics.host.wall_secs,
+                });
+            }
+        }
         slots[i] = Some(outcome);
     }
+    if let Some(cache) = &opts.result_cache {
+        cache.append_costs(&cost_records);
+    }
+
     slots
         .into_iter()
-        .map(|s| s.expect("every sweep cell resolved"))
+        .map(|s| {
+            let mut outcome = s.expect("every sweep cell resolved");
+            // Record the sweep's effective worker count in every cell's
+            // host-side perf block (non-deterministic observability only —
+            // excluded from golden comparisons like the rest of HostPerf).
+            if let CellOutcome::Ok { metrics, .. } = &mut outcome {
+                metrics.host.sweep_workers = threads as u64;
+            }
+            outcome
+        })
         .collect()
 }
 
-/// Worker threads for a sweep: `available_parallelism`, optionally capped
-/// by the `PUNO_SWEEP_THREADS` env override so CI and bench runs use a
-/// pinned, reproducible thread count (machine load — per-cell results are
-/// deterministic at any thread count). Unparsable or zero values fall back
-/// to the hardware count.
-fn sweep_threads() -> usize {
+/// Effective sweep worker count — the single place it is decided:
+/// `available_parallelism`, optionally capped by the `PUNO_SWEEP_THREADS`
+/// env override (so CI and bench runs use a pinned, reproducible count;
+/// per-cell results are deterministic at any thread count), clamped to the
+/// number of runnable jobs so a small or mostly-resumed sweep does not
+/// spawn idle threads. Unparsable or zero overrides fall back to the
+/// hardware count.
+pub fn effective_workers(jobs: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    match std::env::var("PUNO_SWEEP_THREADS")
+    let capped = match std::env::var("PUNO_SWEEP_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
         Some(n) if n >= 1 => hw.min(n),
         _ => hw,
-    }
+    };
+    capped.min(jobs.max(1))
 }
 
 /// Run one cell with panic containment and bounded retries.

@@ -20,7 +20,7 @@ use puno_noc::Network;
 use puno_sim::{
     Cycle, Cycles, EventQueue, FaultInjector, FaultKind, FaultPlan, LineAddr, NodeId, SimRng,
 };
-use puno_workloads::{generate_program, WorkloadParams};
+use puno_workloads::{ProgramSet, WorkloadParams};
 
 /// Simulation events.
 #[derive(Debug)]
@@ -153,7 +153,31 @@ pub struct System {
 impl System {
     /// Assemble a system running `params` under `config.mechanism`.
     pub fn new(config: SystemConfig, params: &WorkloadParams, seed: u64) -> Self {
+        let programs = ProgramSet::generate(params, config.nodes(), seed);
+        Self::new_shared(config, params, seed, &programs)
+    }
+
+    /// Like [`System::new`], but replaying an already generated
+    /// [`ProgramSet`] instead of regenerating the trace. The set must come
+    /// from the same `(params, seed)` (and cover the mesh); sharing it
+    /// across mechanism cells and retries is what makes sweep-scale
+    /// execution cheap without touching simulated behaviour.
+    pub fn new_shared(
+        config: SystemConfig,
+        params: &WorkloadParams,
+        seed: u64,
+        programs: &ProgramSet,
+    ) -> Self {
         let nodes_n = config.nodes();
+        assert_eq!(
+            programs.nodes(),
+            nodes_n,
+            "program set does not cover the mesh"
+        );
+        debug_assert_eq!(
+            programs.seed, seed,
+            "program set generated for another seed"
+        );
         let root_rng = SimRng::new(seed);
         // Steady state holds roughly one wake per node plus in-flight
         // protocol events; pre-size so the hot loop never grows the queue.
@@ -176,7 +200,7 @@ impl System {
                     config.backoff,
                     root_rng.derive(0xB0FF ^ i as u64),
                 ),
-                generate_program(params, id, seed),
+                programs.node(id),
                 config.commit_latency,
                 config.mechanism.uses_puno() && config.puno.notification_enabled,
             );
@@ -231,6 +255,105 @@ impl System {
             host_wall_secs: 0.0,
             config,
         }
+    }
+
+    /// Re-target a finished (or failed) system at a new cell, reusing its
+    /// allocations — event-queue buckets, router buffers, directory entry
+    /// tables, L1 tag arrays, HTM scratch, memory image — instead of
+    /// constructing from scratch. Bit-identical to
+    /// `System::new_shared(config, params, seed, programs)`: every leaf
+    /// reset restores exactly the state its constructor builds, validated
+    /// by the `sweep_engine` golden test. Falls back to full construction
+    /// when the geometry (mesh, NoC, L1, directory config) changes.
+    pub fn reset(
+        &mut self,
+        config: SystemConfig,
+        params: &WorkloadParams,
+        seed: u64,
+        programs: &ProgramSet,
+    ) {
+        let nodes_n = config.nodes();
+        let same_geometry = nodes_n == self.nodes.len() as u16
+            && config.mesh == self.config.mesh
+            && config.noc == self.config.noc
+            && config.l1 == self.config.l1
+            && config.dir == self.config.dir;
+        if !same_geometry {
+            *self = System::new_shared(config, params, seed, programs);
+            return;
+        }
+        assert_eq!(
+            programs.nodes(),
+            nodes_n,
+            "program set does not cover the mesh"
+        );
+        debug_assert_eq!(
+            programs.seed, seed,
+            "program set generated for another seed"
+        );
+        let root_rng = SimRng::new(seed);
+        self.queue.reset();
+        for i in 0..nodes_n {
+            let id = NodeId(i);
+            let rmw = config
+                .mechanism
+                .uses_rmw_predictor()
+                .then(RmwPredictor::paper);
+            let node = &mut self.nodes[i as usize];
+            node.reset(
+                nodes_n,
+                config.l1,
+                config.abort_timing,
+                rmw,
+                TxLengthBuffer::new(config.puno.txlb_entries),
+                BackoffEngine::new(
+                    config.mechanism.backoff_kind(),
+                    config.backoff,
+                    root_rng.derive(0xB0FF ^ i as u64),
+                ),
+                programs.node(id),
+                config.commit_latency,
+                config.mechanism.uses_puno() && config.puno.notification_enabled,
+            );
+            node.set_wakeup_hints(config.mechanism.uses_puno() && config.puno.wakeup_hints);
+            if let Some(sig_cfg) = config.signatures {
+                node.htm.enable_signatures(sig_cfg);
+            }
+            self.queue
+                .schedule_at(0, Event::NodeWake { node: id, epoch: 0 });
+        }
+        for d in &mut self.dirs {
+            d.reset();
+        }
+        let mut puno_cfg = config.puno;
+        puno_cfg.pbuffer_entries = nodes_n as usize;
+        for p in &mut self.predictors {
+            *p = if config.mechanism.uses_puno() {
+                PredictorImpl::Puno(Box::new(PunoPredictor::new(puno_cfg)))
+            } else {
+                PredictorImpl::Null(NullPredictor)
+            };
+        }
+        self.network.reset();
+        self.memory.clear();
+        self.workload_name.clear();
+        self.workload_name.push_str(&params.name);
+        self.seed = seed;
+        self.oracle = FalseAbortOracle::default();
+        self.net_step_armed = false;
+        self.nodes_done = 0;
+        self.finish_cycle = 0;
+        self.trace = puno_sim::TraceRing::disabled();
+        self.fault = FaultInjector::new(FaultPlan::none());
+        self.pending_jitter.fill(0);
+        self.last_cycle = 0;
+        self.watchdog_next = config.watchdog_window;
+        self.watchdog_last = 0;
+        self.progress_commits = 0;
+        self.events_dispatched = 0;
+        self.peak_queue_depth = 0;
+        self.host_wall_secs = 0.0;
+        self.config = config;
     }
 
     /// Install a fault plan. Scheduled events are enqueued immediately;
@@ -408,8 +531,16 @@ impl System {
     /// Like [`System::try_run`] but also returns the final memory image.
     pub fn try_run_full(mut self) -> Result<(RunMetrics, MemoryImage), RunError> {
         self.run_loop()?;
-        let memory = std::mem::take(&mut self.memory);
-        Ok((self.finalize(), memory))
+        let metrics = self.finalize();
+        Ok((metrics, std::mem::take(&mut self.memory)))
+    }
+
+    /// Run to completion *in place*: like [`System::try_run`], but the
+    /// system survives the run so [`System::reset`] can recycle its
+    /// allocations for the next cell.
+    pub fn try_run_recycled(&mut self) -> Result<RunMetrics, RunError> {
+        self.run_loop()?;
+        Ok(self.finalize())
     }
 
     fn run_loop(&mut self) -> Result<(), RunError> {
@@ -749,7 +880,7 @@ impl System {
         }
     }
 
-    fn finalize(self) -> RunMetrics {
+    fn finalize(&self) -> RunMetrics {
         let mut htm = HtmStats::default();
         for n in &self.nodes {
             htm.merge(n.htm.stats());
@@ -773,7 +904,7 @@ impl System {
             dir,
             self.network.stats(),
             self.network.link_stats().skew(),
-            self.oracle,
+            self.oracle.clone(),
             puno,
             self.fault.stats.clone(),
             crate::metrics::HostPerf {
@@ -915,5 +1046,62 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.htm.aborts.get(), b.htm.aborts.get());
         assert_eq!(a.traffic_router_traversals, b.traffic_router_traversals);
+    }
+
+    #[test]
+    fn shared_programs_match_per_cell_generation() {
+        let params = micro::hotspot(10);
+        let config = SystemConfig::paper(Mechanism::Puno);
+        let programs = ProgramSet::generate(&params, config.nodes(), 9);
+        let shared = System::new_shared(config, &params, 9, &programs).run();
+        let fresh = run(Mechanism::Puno, &params, 9);
+        assert_eq!(
+            serde_json::to_string(&shared.deterministic()).unwrap(),
+            serde_json::to_string(&fresh.deterministic()).unwrap(),
+            "shared-program run must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn recycled_system_is_bit_identical_to_fresh() {
+        let hot = micro::hotspot(10);
+        let quiet = micro::private_only(5);
+        let fresh: Vec<String> = [
+            (Mechanism::Baseline, &hot, 5u64),
+            (Mechanism::Puno, &hot, 5),
+            (Mechanism::Puno, &quiet, 7),
+        ]
+        .into_iter()
+        .map(|(mech, params, seed)| {
+            let m = run(mech, params, seed);
+            serde_json::to_string(&m.deterministic()).unwrap()
+        })
+        .collect();
+
+        // One system recycled across all three cells (workload, mechanism,
+        // and seed all change between resets).
+        let mk = |mech, params: &WorkloadParams, seed| {
+            (
+                SystemConfig::paper(mech),
+                ProgramSet::generate(params, SystemConfig::paper(mech).nodes(), seed),
+            )
+        };
+        let (c0, p0) = mk(Mechanism::Baseline, &hot, 5);
+        let mut sys = System::new_shared(c0, &hot, 5, &p0);
+        let m0 = sys.try_run_recycled().unwrap();
+        let (c1, p1) = mk(Mechanism::Puno, &hot, 5);
+        sys.reset(c1, &hot, 5, &p1);
+        let m1 = sys.try_run_recycled().unwrap();
+        let (c2, p2) = mk(Mechanism::Puno, &quiet, 7);
+        sys.reset(c2, &quiet, 7, &p2);
+        let m2 = sys.try_run_recycled().unwrap();
+
+        for (i, (got, want)) in [m0, m1, m2].iter().zip(&fresh).enumerate() {
+            assert_eq!(
+                &serde_json::to_string(&got.deterministic()).unwrap(),
+                want,
+                "recycled cell {i} diverged from fresh construction"
+            );
+        }
     }
 }

@@ -7,10 +7,10 @@ use crate::topology::{Mesh, Port};
 use crate::traffic::TrafficStats;
 use puno_sim::{Cycle, Cycles, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Network timing/sizing knobs (Table II: 4-stage routers, VC flow control).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocConfig {
     /// Router pipeline depth in cycles; the last stage is link traversal.
     pub pipeline_depth: u32,
@@ -52,13 +52,14 @@ pub struct Network<P> {
     inject_pending: Vec<u32>,
     /// Occupancy: packets resident in each router's input buffers.
     resident: Vec<u32>,
-    /// Routers with any buffered or injection-pending packet, kept sorted by
-    /// router index — per-cycle work visits only these, and iterating the
-    /// set in index order makes the active-set walk bit-identical to the
-    /// full 0..n scan it replaces (see `step_into`'s determinism note).
-    active: BTreeSet<u16>,
+    /// Routers with any buffered or injection-pending packet, as a bitmask
+    /// (bit `r % 64` of word `r / 64`) — per-cycle work visits only these,
+    /// and iterating set bits in ascending index order makes the active-set
+    /// walk bit-identical to the full 0..n scan it replaces (see
+    /// `step_into`'s determinism note).
+    active: Vec<u64>,
     /// Reused snapshot of `active` for the per-cycle walks.
-    scratch_active: Vec<u16>,
+    scratch_active: Vec<u64>,
     /// Host-side observability: routers actually visited by arbitration vs
     /// the `routers * steps` a full scan would have touched.
     scan_visits: u64,
@@ -91,11 +92,38 @@ impl<P> Network<P> {
             in_network: 0,
             inject_pending: vec![0; n],
             resident: vec![0; n],
-            active: BTreeSet::new(),
-            scratch_active: Vec::with_capacity(n),
+            active: vec![0; n.div_ceil(64)],
+            scratch_active: Vec::with_capacity(n.div_ceil(64)),
             scan_visits: 0,
             scan_steps: 0,
         }
+    }
+
+    /// Return the network to its freshly constructed state — empty routers,
+    /// free links, zeroed stats and packet ids — while keeping every buffer
+    /// allocation. Mesh geometry and config are unchanged. A recycled
+    /// network is bit-identical in behaviour to `Network::new(mesh, config)`:
+    /// every field the constructor initializes is restored here.
+    pub fn reset(&mut self) {
+        for router in &mut self.routers {
+            router.reset();
+        }
+        for per_node in &mut self.inject_queues {
+            for q in per_node {
+                q.clear();
+            }
+        }
+        self.deliveries.clear();
+        self.stats = TrafficStats::default();
+        self.link_stats.reset();
+        self.next_packet_id = 0;
+        self.in_network = 0;
+        self.inject_pending.fill(0);
+        self.resident.fill(0);
+        self.active.fill(0);
+        self.scratch_active.clear();
+        self.scan_visits = 0;
+        self.scan_steps = 0;
     }
 
     /// Re-evaluate router `r`'s membership in the active set after an
@@ -103,10 +131,15 @@ impl<P> Network<P> {
     #[inline]
     fn note_occupancy(&mut self, r: usize) {
         if self.inject_pending[r] == 0 && self.resident[r] == 0 {
-            self.active.remove(&(r as u16));
+            self.active[r / 64] &= !(1u64 << (r % 64));
         } else {
-            self.active.insert(r as u16);
+            self.active[r / 64] |= 1u64 << (r % 64);
         }
+    }
+
+    #[inline]
+    fn mark_active(&mut self, r: usize) {
+        self.active[r / 64] |= 1u64 << (r % 64);
     }
 
     /// Fraction of (router x step) slots arbitration actually visited; 1.0
@@ -149,7 +182,7 @@ impl<P> Network<P> {
 
     /// Routers currently in the active (occupied) set (diagnostics/tests).
     pub fn active_router_count(&self) -> usize {
-        self.active.len()
+        self.active.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Fault-injection hook: hold every output link of `node`'s router busy
@@ -190,7 +223,7 @@ impl<P> Network<P> {
         self.in_network += 1;
         self.inject_queues[src.index()][vnet.index()].push_back(packet);
         self.inject_pending[src.index()] += 1;
-        self.active.insert(src.0);
+        self.mark_active(src.index());
     }
 
     /// Advance the network one cycle. Returns packets delivered to their
@@ -228,24 +261,28 @@ impl<P> Network<P> {
         let ready_delay = self.config.pipeline_depth as Cycle - 1;
         let mut snapshot = std::mem::take(&mut self.scratch_active);
         snapshot.clear();
-        snapshot.extend(self.active.iter().copied()); // ascending: BTreeSet
-        for &r in &snapshot {
-            let node = r as usize;
-            if self.inject_pending[node] == 0 {
-                continue;
-            }
-            for vnet_idx in 0..VirtualNetwork::COUNT {
-                while let Some(front) = self.inject_queues[node][vnet_idx].front() {
-                    let flits = front.flits;
-                    let vnet = front.vnet;
-                    let buf = self.routers[node].buffer(Port::Local, vnet);
-                    if buf.free_flits(self.config.buffer_flits) < flits {
-                        break;
+        snapshot.extend_from_slice(&self.active);
+        for (word_idx, &word) in snapshot.iter().enumerate() {
+            let mut bits = word; // ascending router index: low bits first
+            while bits != 0 {
+                let node = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.inject_pending[node] == 0 {
+                    continue;
+                }
+                for vnet_idx in 0..VirtualNetwork::COUNT {
+                    while let Some(front) = self.inject_queues[node][vnet_idx].front() {
+                        let flits = front.flits;
+                        let vnet = front.vnet;
+                        let buf = self.routers[node].buffer(Port::Local, vnet);
+                        if buf.free_flits(self.config.buffer_flits) < flits {
+                            break;
+                        }
+                        let packet = self.inject_queues[node][vnet_idx].pop_front().unwrap();
+                        self.routers[node].accept(Port::Local, vnet, now + ready_delay, packet);
+                        self.inject_pending[node] -= 1;
+                        self.resident[node] += 1;
                     }
-                    let packet = self.inject_queues[node][vnet_idx].pop_front().unwrap();
-                    self.routers[node].accept(Port::Local, vnet, now + ready_delay, packet);
-                    self.inject_pending[node] -= 1;
-                    self.resident[node] += 1;
                 }
             }
         }
@@ -264,87 +301,113 @@ impl<P> Network<P> {
         // would have found no eligible candidate there either.
         let mut snapshot = std::mem::take(&mut self.scratch_active);
         snapshot.clear();
-        snapshot.extend(self.active.iter().copied());
-        for &r16 in &snapshot {
-            let r = r16 as usize;
-            if self.resident[r] == 0 {
-                continue; // injection-queue backlog only: nothing buffered
-            }
-            self.scan_visits += 1;
-            let here = NodeId(r16);
-            for out_port in Port::ALL {
-                if self.routers[r].link_busy_until[out_port.index()] > now {
-                    continue;
+        snapshot.extend_from_slice(&self.active);
+        for (word_idx, &word) in snapshot.iter().enumerate() {
+            let mut active_bits = word; // ascending router index
+            'routers: while active_bits != 0 {
+                let r = word_idx * 64 + active_bits.trailing_zeros() as usize;
+                active_bits &= active_bits - 1;
+                if self.resident[r] == 0 {
+                    continue 'routers; // injection-queue backlog only
                 }
-                let start = self.routers[r].rr_pointer[out_port.index()];
-                let mut winner: Option<(usize, usize)> = None;
-                for k in 0..n_candidates {
-                    let idx = (start + k) % n_candidates;
-                    let in_port = idx / VirtualNetwork::COUNT;
-                    let vnet_idx = idx % VirtualNetwork::COUNT;
-                    let buf = &self.routers[r].inputs[in_port][vnet_idx];
-                    let Some(head) = buf.queue.front() else {
-                        continue;
-                    };
-                    if head.ready_at > now {
+                self.scan_visits += 1;
+                let here = NodeId(r as u16);
+                for out_port in Port::ALL {
+                    if self.routers[r].link_busy_until[out_port.index()] > now {
                         continue;
                     }
-                    if self.mesh.route_xy(here, head.packet.dst) != out_port {
-                        continue;
-                    }
-                    // Check downstream space (credit): ejection always has
-                    // room (NI sinks immediately).
-                    if out_port != Port::Local {
-                        let next = self
-                            .mesh
-                            .neighbor(here, out_port)
-                            .expect("XY routed off-mesh");
-                        let flits = head.packet.flits;
-                        let free = self.routers[next.index()].inputs[opposite(out_port).index()]
-                            [vnet_idx]
-                            .free_flits(self.config.buffer_flits);
-                        if free < flits {
-                            continue;
+                    let start = self.routers[r].rr_pointer[out_port.index()];
+                    // Round-robin order start..n then 0..start, restricted
+                    // to non-empty buffers via the occupancy mask: an empty
+                    // buffer is exactly a skipped candidate in the full
+                    // scan, so the restriction is order-preserving.
+                    let occ = u32::from(self.routers[r].occupancy);
+                    let low = occ & ((1u32 << start) - 1);
+                    let high = occ & !((1u32 << start) - 1);
+                    let mut winner: Option<(usize, usize)> = None;
+                    'scan: for part in [high, low] {
+                        let mut cand_bits = part;
+                        while cand_bits != 0 {
+                            let idx = cand_bits.trailing_zeros() as usize;
+                            cand_bits &= cand_bits - 1;
+                            let in_port = idx / VirtualNetwork::COUNT;
+                            let vnet_idx = idx % VirtualNetwork::COUNT;
+                            let buf = &self.routers[r].inputs[in_port][vnet_idx];
+                            let Some(head) = buf.queue.front() else {
+                                continue;
+                            };
+                            if head.ready_at > now {
+                                continue;
+                            }
+                            if self.mesh.route_xy(here, head.packet.dst) != out_port {
+                                continue;
+                            }
+                            // Check downstream space (credit): ejection
+                            // always has room (NI sinks immediately).
+                            if out_port != Port::Local {
+                                let next = self
+                                    .mesh
+                                    .neighbor(here, out_port)
+                                    .expect("XY routed off-mesh");
+                                let flits = head.packet.flits;
+                                let free = self.routers[next.index()].inputs
+                                    [opposite(out_port).index()][vnet_idx]
+                                    .free_flits(self.config.buffer_flits);
+                                if free < flits {
+                                    continue;
+                                }
+                            }
+                            winner = Some((in_port, vnet_idx));
+                            self.routers[r].rr_pointer[out_port.index()] = (idx + 1) % n_candidates;
+                            break 'scan;
                         }
                     }
-                    winner = Some((in_port, vnet_idx));
-                    self.routers[r].rr_pointer[out_port.index()] = (idx + 1) % n_candidates;
-                    break;
+                    let Some((in_port, vnet_idx)) = winner else {
+                        continue;
+                    };
+                    // Dequeue the winner and traverse.
+                    let buffered = {
+                        let router = &mut self.routers[r];
+                        let buf = &mut router.inputs[in_port][vnet_idx];
+                        let bp = buf.queue.pop_front().unwrap();
+                        buf.occupied_flits -= bp.packet.flits;
+                        if buf.queue.is_empty() {
+                            router.occupancy &=
+                                !(1u16 << (in_port * VirtualNetwork::COUNT + vnet_idx));
+                        }
+                        bp
+                    };
+                    let packet = buffered.packet;
+                    let flits = packet.flits;
+                    // The Figure 11 metric: every flit leaving a router
+                    // crossbar is one router traversal.
+                    self.stats.record_traversal(packet.vnet, flits);
+                    self.link_stats.record(here, out_port, flits);
+                    self.routers[r].link_busy_until[out_port.index()] = now + flits as Cycle;
+                    self.resident[r] -= 1;
+                    if out_port == Port::Local {
+                        self.deliveries.push(PendingDelivery {
+                            due: now + flits as Cycle,
+                            node: here,
+                            packet,
+                        });
+                    } else {
+                        let next = self.mesh.neighbor(here, out_port).unwrap();
+                        let ready_at =
+                            now + flits as Cycle + self.config.pipeline_depth as Cycle - 1;
+                        let vnet = packet.vnet;
+                        self.routers[next.index()].accept(
+                            opposite(out_port),
+                            vnet,
+                            ready_at,
+                            packet,
+                        );
+                        self.resident[next.index()] += 1;
+                        self.mark_active(next.index());
+                    }
                 }
-                let Some((in_port, vnet_idx)) = winner else {
-                    continue;
-                };
-                // Dequeue the winner and traverse.
-                let buffered = {
-                    let buf = &mut self.routers[r].inputs[in_port][vnet_idx];
-                    let bp = buf.queue.pop_front().unwrap();
-                    buf.occupied_flits -= bp.packet.flits;
-                    bp
-                };
-                let packet = buffered.packet;
-                let flits = packet.flits;
-                // The Figure 11 metric: every flit leaving a router crossbar
-                // is one router traversal.
-                self.stats.record_traversal(packet.vnet, flits);
-                self.link_stats.record(here, out_port, flits);
-                self.routers[r].link_busy_until[out_port.index()] = now + flits as Cycle;
-                self.resident[r] -= 1;
-                if out_port == Port::Local {
-                    self.deliveries.push(PendingDelivery {
-                        due: now + flits as Cycle,
-                        node: here,
-                        packet,
-                    });
-                } else {
-                    let next = self.mesh.neighbor(here, out_port).unwrap();
-                    let ready_at = now + flits as Cycle + self.config.pipeline_depth as Cycle - 1;
-                    let vnet = packet.vnet;
-                    self.routers[next.index()].accept(opposite(out_port), vnet, ready_at, packet);
-                    self.resident[next.index()] += 1;
-                    self.active.insert(next.0);
-                }
+                self.note_occupancy(r);
             }
-            self.note_occupancy(r);
         }
         self.scratch_active = snapshot;
     }
@@ -647,6 +710,41 @@ mod tests {
         assert_eq!(delivered.len(), 2, "stranded packet: {delivered:?}");
         assert!(net.is_idle());
         assert_eq!(net.active_router_count(), 0);
+    }
+
+    #[test]
+    fn reset_network_matches_fresh_network() {
+        let drive = |net: &mut Network<u32>| {
+            let mut rng = puno_sim::SimRng::new(7);
+            for i in 0..48u32 {
+                net.inject(
+                    0,
+                    NodeId(rng.gen_range(16) as u16),
+                    NodeId(rng.gen_range(16) as u16),
+                    VirtualNetwork::Request,
+                    CONTROL_FLITS,
+                    i,
+                );
+            }
+            run_until_idle(net, 0, 100_000)
+        };
+        let mut fresh = Network::new(Mesh::paper(), NocConfig::default());
+        let expected = drive(&mut fresh);
+        let expected_stats = format!("{:?}", fresh.stats());
+
+        let mut recycled = Network::new(Mesh::paper(), NocConfig::default());
+        // Dirty it with unrelated traffic, then reset.
+        recycled.inject(0, NodeId(3), NodeId(12), VirtualNetwork::Response, 5, 999);
+        run_until_idle(&mut recycled, 0, 10_000);
+        recycled.reset();
+        assert!(recycled.is_idle());
+        assert_eq!(recycled.active_router_count(), 0);
+        assert_eq!(recycled.stats().packets_injected(), 0);
+        assert_eq!(recycled.link_stats().total(), 0);
+
+        let got = drive(&mut recycled);
+        assert_eq!(got, expected, "recycled network must replay identically");
+        assert_eq!(format!("{:?}", recycled.stats()), expected_stats);
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub(crate) struct Router<P> {
     /// Round-robin arbitration pointer per output port, over the flattened
     /// (input port, vnet) candidate space.
     pub rr_pointer: [usize; 5],
+    /// Non-empty-buffer bitmask over the same flattened (input port, vnet)
+    /// space: bit `port.index() * VirtualNetwork::COUNT + vnet.index()` is
+    /// set iff that input FIFO holds at least one packet. Switch allocation
+    /// scans only set bits — an empty buffer is exactly a skipped candidate
+    /// in the full scan, so the restriction changes no arbitration outcome.
+    pub occupancy: u16,
 }
 
 impl<P> Router<P> {
@@ -63,7 +69,22 @@ impl<P> Router<P> {
                 .collect(),
             link_busy_until: [0; 5],
             rr_pointer: [0; 5],
+            occupancy: 0,
         }
+    }
+
+    /// Return to the freshly constructed state (empty buffers, free links,
+    /// arbitration pointers at zero) without dropping buffer allocations.
+    pub fn reset(&mut self) {
+        for per_port in &mut self.inputs {
+            for buf in per_port {
+                buf.queue.clear();
+                buf.occupied_flits = 0;
+            }
+        }
+        self.link_busy_until = [0; 5];
+        self.rr_pointer = [0; 5];
+        self.occupancy = 0;
     }
 
     pub fn buffer(&self, port: Port, vnet: VirtualNetwork) -> &InputBuffer<P> {
@@ -76,6 +97,7 @@ impl<P> Router<P> {
 
     /// Enqueue a packet into an input buffer. Caller must have checked space.
     pub fn accept(&mut self, port: Port, vnet: VirtualNetwork, ready_at: Cycle, packet: Packet<P>) {
+        self.occupancy |= 1 << (port.index() * VirtualNetwork::COUNT + vnet.index());
         let buf = self.buffer_mut(port, vnet);
         buf.occupied_flits += packet.flits;
         buf.queue.push_back(BufferedPacket { ready_at, packet });

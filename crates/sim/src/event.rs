@@ -105,6 +105,21 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Reset to the freshly constructed state (clock 0, seq 0, no pending
+    /// events) while keeping the heap and per-bucket allocations, so a
+    /// recycled queue behaves bit-identically to a new one without paying
+    /// construction cost.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.bucket_mask = 0;
+        self.bucket_len = 0;
+        self.next_seq = 0;
+        self.now = 0;
+    }
+
     /// Schedule `payload` at absolute cycle `at`.
     ///
     /// Scheduling in the past is a logic error in the caller; the event is
@@ -380,6 +395,31 @@ mod tests {
         q.schedule_at_clamped(3, "late"); // would assert via schedule_at
         assert_eq!(q.pop(), Some((10, "late")));
         assert_eq!(q.now(), 10);
+    }
+
+    #[test]
+    fn reset_restores_fresh_behaviour() {
+        let mut used = EventQueue::new();
+        used.schedule_at(5, 1u64);
+        used.schedule_at(500, 2); // far heap entry
+        used.pop();
+        used.reset();
+        assert!(used.is_empty());
+        assert_eq!(used.now(), 0);
+
+        let mut fresh = EventQueue::new();
+        for q in [&mut used, &mut fresh] {
+            q.schedule_at(3, 10u64);
+            q.schedule_at(3, 11);
+            q.schedule_at(400, 12);
+        }
+        loop {
+            let (x, y) = (used.pop(), fresh.pop());
+            assert_eq!(x, y, "recycled queue must match fresh");
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

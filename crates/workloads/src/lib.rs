@@ -31,6 +31,7 @@ pub mod genprog;
 pub mod micro;
 pub mod op;
 pub mod params;
+pub mod progcache;
 pub mod stamp;
 pub mod stats;
 
@@ -38,5 +39,6 @@ pub use addresses::AddressMap;
 pub use genprog::generate_program;
 pub use op::{DynTxSpec, NodeProgram, TxOp, WorkItem};
 pub use params::{StaticTxParams, WorkloadParams};
+pub use progcache::{fnv1a_64, params_digest, ProgramSet};
 pub use stamp::{table1_rows, Table1Row, WorkloadId};
 pub use stats::{characterize, ProgramStats};

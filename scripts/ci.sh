@@ -20,6 +20,24 @@ echo "== fault smoke (0.05 scale, intensity 1.0) =="
 PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
     cargo run --offline --release -q -p puno-harness --bin fault_smoke -- 0.05 1.0 1
 
+echo "== result-cache smoke (4-cell sweep twice; warm pass must replay byte-for-byte) =="
+# Cold pass simulates and stores every cell; the warm pass must serve all
+# four cells from the cache and produce byte-identical stdout (cached
+# replay carries the cold run's metrics verbatim, host counters included).
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
+    > "$CACHE_DIR/cold.txt" 2> "$CACHE_DIR/cold.err"
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
+    > "$CACHE_DIR/warm.txt" 2> "$CACHE_DIR/warm.err"
+diff "$CACHE_DIR/cold.txt" "$CACHE_DIR/warm.txt" \
+    || { echo "warm sweep output differs from cold sweep"; exit 1; }
+grep -q "result cache: 4 hits, 0 misses" "$CACHE_DIR/warm.err" \
+    || { echo "warm pass did not hit the cache:"; cat "$CACHE_DIR/warm.err"; exit 1; }
+echo "cache smoke OK (4/4 warm hits, byte-identical output)"
+
 echo "== substrate bench smoke (vs checked-in baseline) =="
 # Fails if any benchmark runs >25% slower than results/BENCH_substrate_baseline.json,
 # or on missing-key drift in either direction (a benchmark added without a

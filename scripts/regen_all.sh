@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-1.0}"
 SEED="${2:-1}"
 export PUNO_JSON_DIR="$PWD/results"
+# Persistent result cache: every figure binary sweeps the same grid, so
+# after the first binary populates the cache the rest replay their cells
+# (and a re-run at unchanged inputs skips simulation entirely). Set
+# PUNO_RESULT_CACHE=off to force cold runs; delete results/cache (or bump
+# ENGINE_VERSION in crates/harness/src/cache.rs) to invalidate.
+export PUNO_RESULT_CACHE="${PUNO_RESULT_CACHE:-$PWD/results/cache}"
 mkdir -p results
 
 echo "== building =="
