@@ -427,6 +427,36 @@ fn bench_sweep(h: &mut Harness) {
     });
 }
 
+/// Cost of the observability layer on one end-to-end cell, side by side:
+/// tracing off (the per-event mask test is the only overhead — the CI
+/// regression gate holds `trace/off` to the same tolerance as every other
+/// benchmark), the all-channel ring tracer, and the telemetry collector.
+fn bench_tracing(h: &mut Harness) {
+    let params = WorkloadId::Ssca2.params().scaled(0.05);
+    h.bench("trace/off/ssca2", 12, || {
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let m = puno_harness::System::new(config, &params, 1).run();
+        black_box(m.cycles ^ m.committed)
+    });
+    h.bench("trace/ring_all/ssca2", 12, || {
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let mut sys = puno_harness::System::new(config, &params, 1);
+        sys.enable_trace(1024);
+        let m = sys.try_run_recycled().expect("traced cell must complete");
+        black_box(m.cycles ^ m.committed)
+    });
+    h.bench("trace/telemetry/ssca2", 12, || {
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let mut sys = puno_harness::System::new(config, &params, 1);
+        sys.enable_telemetry(puno_harness::TelemetryConfig::default());
+        let m = sys
+            .try_run_recycled()
+            .expect("telemetry cell must complete");
+        let t = m.telemetry.expect("telemetry report attached");
+        black_box(m.cycles ^ t.commits_total())
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_event_queue(&mut h);
@@ -438,6 +468,7 @@ fn main() {
     bench_hot_state(&mut h);
     bench_system_throughput(&mut h);
     bench_sweep(&mut h);
+    bench_tracing(&mut h);
 
     if let Ok(path) = std::env::var("BENCH_SUBSTRATE_JSON") {
         h.write_json(&path);

@@ -188,6 +188,22 @@ impl DirectoryBank {
         self.entries.get(addr).is_some_and(|e| e.busy.is_some())
     }
 
+    /// Coarse line state for the typed trace's `DirState` transition event:
+    /// the stable state plus whether a service episode is in flight.
+    pub fn trace_state(&self, addr: LineAddr) -> (puno_sim::DirLineState, bool) {
+        match self.entries.get(addr) {
+            None => (puno_sim::DirLineState::Uncached, false),
+            Some(e) => {
+                let state = match e.state {
+                    Stable::Uncached { .. } => puno_sim::DirLineState::Uncached,
+                    Stable::Shared => puno_sim::DirLineState::Shared,
+                    Stable::Owned => puno_sim::DirLineState::Owned,
+                };
+                (state, e.busy.is_some())
+            }
+        }
+    }
+
     /// Process a message addressed to this home bank.
     ///
     /// Allocation-per-call wrapper over [`DirectoryBank::handle_into`]; hot

@@ -229,6 +229,29 @@ impl CoherenceMsg {
     pub fn is_tx_getx(&self) -> bool {
         matches!(self, CoherenceMsg::Getx { tx: Some(_), .. })
     }
+
+    /// The payload-free kind mirror used by the typed trace events in
+    /// `puno_sim::trace` (the sim kernel cannot depend on this crate).
+    pub fn trace_kind(&self) -> puno_sim::CohMsgKind {
+        use puno_sim::CohMsgKind as K;
+        match self {
+            CoherenceMsg::Gets { .. } => K::Gets,
+            CoherenceMsg::Getx { .. } => K::Getx,
+            CoherenceMsg::Putx { .. } => K::Putx,
+            CoherenceMsg::Puts { .. } => K::Puts,
+            CoherenceMsg::FwdGets { .. } => K::FwdGets,
+            CoherenceMsg::FwdGetx { .. } => K::FwdGetx,
+            CoherenceMsg::Inv { .. } => K::Inv,
+            CoherenceMsg::Data { .. } => K::Data,
+            CoherenceMsg::UpgradeAck { .. } => K::UpgradeAck,
+            CoherenceMsg::Ack { .. } => K::Ack,
+            CoherenceMsg::Nack { .. } => K::Nack,
+            CoherenceMsg::Unblock { .. } => K::Unblock,
+            CoherenceMsg::WbAck { .. } => K::WbAck,
+            CoherenceMsg::WakeupHint { .. } => K::WakeupHint,
+            CoherenceMsg::WbData { .. } => K::WbData,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,27 +1,52 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
 //! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism>]
+//!                  [--trace <workload>:<mechanism>]
 //!
 //! `--filter` restricts the grid: an argument matching a workload name
 //! (substring, case-insensitive) keeps only those workloads; one matching a
 //! mechanism name keeps only those mechanisms. With `PUNO_RESULT_CACHE`
 //! set, unchanged cells replay from the persistent cache (stats go to
 //! stderr; stdout stays byte-identical between a cold and a warm run).
+//!
+//! `--trace` re-runs exactly one cell with full tracing and telemetry
+//! instead of sweeping: the JSONL event stream goes to `PUNO_TRACE_OUT`
+//! (default: `trace_<workload>_<mechanism>_s<seed>.jsonl` in the current
+//! directory), the channel filter honours `PUNO_TRACE` (default: all
+//! channels), and the abort-blame / contention-heat / time-series summary
+//! prints to stdout. The result cache is bypassed — a cache hit replays no
+//! events, so it could never produce a trace.
 
 use puno_harness::report::{render_host_perf, FigureMetric, NormalizedFigure};
 use puno_harness::sweep::sweep;
-use puno_harness::Mechanism;
+use puno_harness::{Mechanism, System, SystemConfig, TelemetryConfig};
 use puno_workloads::{table1_rows, WorkloadId};
+use std::path::PathBuf;
 
 struct Args {
     scale: f64,
     seed: u64,
     workloads: Vec<WorkloadId>,
     mechanisms: Vec<Mechanism>,
+    trace: Option<(WorkloadId, Mechanism)>,
+}
+
+fn lookup_cell(spec: &str) -> Option<(WorkloadId, Mechanism)> {
+    let (wl_name, mech_name) = spec.split_once(':')?;
+    let wl = WorkloadId::ALL
+        .iter()
+        .copied()
+        .find(|w| w.name().eq_ignore_ascii_case(wl_name))?;
+    let mech = Mechanism::ALL
+        .iter()
+        .copied()
+        .find(|m| m.name().eq_ignore_ascii_case(mech_name))?;
+    Some((wl, mech))
 }
 
 fn parse_args() -> Args {
     let mut positional: Vec<String> = Vec::new();
     let mut filters: Vec<String> = Vec::new();
+    let mut trace = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--filter" {
@@ -30,6 +55,21 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             };
             filters.push(value.to_ascii_lowercase());
+        } else if arg == "--trace" {
+            let Some(value) = argv.next() else {
+                eprintln!("--trace requires <workload>:<mechanism>");
+                std::process::exit(2);
+            };
+            let Some(cell) = lookup_cell(&value) else {
+                let w_names: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.name()).collect();
+                let m_names: Vec<&str> = Mechanism::ALL.iter().map(|m| m.name()).collect();
+                eprintln!(
+                    "--trace {value:?} is not <workload>:<mechanism> with workload in {w_names:?} \
+                     and mechanism in {m_names:?}"
+                );
+                std::process::exit(2);
+            };
+            trace = Some(cell);
         } else {
             positional.push(arg);
         }
@@ -68,11 +108,73 @@ fn parse_args() -> Args {
         seed: positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1),
         workloads,
         mechanisms,
+        trace,
     }
+}
+
+/// `--trace` mode: simulate one cell with every sink attached and print
+/// the telemetry summary. Never consults the result cache.
+fn run_traced_cell(args: &Args, wl: WorkloadId, mech: Mechanism) {
+    let params = wl.params().scaled(args.scale);
+    let mut sys = System::new(SystemConfig::paper(mech), &params, args.seed);
+    let mask = match puno_sim::TraceConfig::from_env() {
+        Ok(Some(cfg)) => cfg.mask,
+        Ok(None) => puno_sim::ChannelMask::ALL,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut tracer = puno_sim::Tracer::ring(mask, puno_sim::trace::DEFAULT_RING_CAPACITY);
+    let out = std::env::var_os("PUNO_TRACE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = puno_harness::run::resolve_trace_out(&out, wl.name(), mech.name(), args.seed);
+    if let Err(e) = tracer.set_jsonl_path(&path) {
+        eprintln!("cannot open trace output {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    sys.install_tracer(tracer);
+    sys.enable_telemetry(TelemetryConfig::default());
+    let result = sys.try_run_recycled();
+    sys.tracer_mut().flush();
+    let metrics = match result {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "== traced cell {}:{} (seed {}, scale {}) ==",
+        wl.name(),
+        mech.name(),
+        args.seed,
+        args.scale
+    );
+    println!(
+        "cycles {}, committed {}, aborts {}",
+        metrics.cycles,
+        metrics.committed,
+        metrics.htm.aborts.get()
+    );
+    if let Some(report) = &metrics.telemetry {
+        println!("{}", report.render());
+    }
+    eprintln!(
+        "trace: {} JSONL records ({} channels) -> {}",
+        sys.tracer().jsonl_lines(),
+        mask.spec(),
+        path.display()
+    );
 }
 
 fn main() {
     let args = parse_args();
+    if let Some((wl, mech)) = args.trace {
+        run_traced_cell(&args, wl, mech);
+        return;
+    }
     let t0 = std::time::Instant::now();
     let results = sweep(&args.workloads, &args.mechanisms, args.seed, args.scale);
     eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());

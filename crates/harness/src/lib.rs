@@ -21,6 +21,8 @@ pub mod run;
 pub mod sensitivity;
 pub mod sweep;
 pub mod system;
+pub mod telemetry;
+pub mod tracefmt;
 
 pub use cache::{cell_digest, global_cache, CostModel, ResultCache, ENGINE_VERSION};
 pub use config::SystemConfig;
@@ -32,3 +34,4 @@ pub use oracle::FalseAbortOracle;
 pub use run::{run_workload, run_workload_with_faults, try_run_workload};
 pub use sweep::{sweep, SweepResult};
 pub use system::System;
+pub use telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};

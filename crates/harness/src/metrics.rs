@@ -2,6 +2,7 @@
 //! and figures are computed from.
 
 use crate::oracle::FalseAbortOracle;
+use crate::telemetry::TelemetryReport;
 use puno_coherence::DirStats;
 use puno_core::PunoStats;
 use puno_htm::HtmStats;
@@ -77,6 +78,9 @@ pub struct RunMetrics {
     pub committed: u64,
     /// Host-side simulator throughput (non-deterministic; see [`HostPerf`]).
     pub host: HostPerf,
+    /// Size-bounded telemetry (time series, abort blame, contention heat);
+    /// `None` unless the run enabled a [`crate::TelemetryCollector`].
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunMetrics {
@@ -94,6 +98,7 @@ impl RunMetrics {
         puno: PunoStats,
         faults: FaultStats,
         host: HostPerf,
+        telemetry: Option<TelemetryReport>,
     ) -> Self {
         let committed = htm.commits.get();
         Self {
@@ -112,6 +117,7 @@ impl RunMetrics {
             faults,
             committed,
             host,
+            telemetry,
         }
     }
 
@@ -163,6 +169,7 @@ mod tests {
             PunoStats::default(),
             FaultStats::default(),
             HostPerf::default(),
+            None,
         );
         assert_eq!(m.committed, 2);
         assert!((m.aborts_per_commit() - 0.5).abs() < 1e-12);

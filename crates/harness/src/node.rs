@@ -17,7 +17,10 @@ use puno_htm::rmw::{OpSite, RmwPredictor};
 use puno_htm::stats::AbortCause;
 use puno_htm::unit::{AbortTiming, HtmUnit};
 use puno_htm::BackoffEngine;
-use puno_sim::{Cycle, Cycles, LineAddr, LineMap, LineSet, NodeId, Timestamp, TxId};
+use puno_sim::{
+    ChannelMask, Cycle, Cycles, LineAddr, LineMap, LineSet, NodeId, Timestamp, TraceChannel,
+    TraceEvent, TxId,
+};
 use puno_workloads::op::{DynTxSpec, NodeProgram, TxOp, WorkItem};
 use std::sync::Arc;
 
@@ -144,6 +147,13 @@ pub struct NodeState {
     /// One-shot fault injection: answer the next eligible forward with a
     /// spurious NACK instead of complying.
     force_nack_once: bool,
+    /// Effective trace mask pushed down by the system; the node only emits
+    /// `Htm`-channel events, so the hot-path cost when tracing is off is a
+    /// single bit test per site.
+    trace_mask: ChannelMask,
+    /// Events recorded during the current step/handler call; the system
+    /// drains this into its tracer/telemetry sinks after each call.
+    trace_buf: Vec<(Cycle, TraceEvent)>,
 }
 
 impl NodeState {
@@ -185,6 +195,8 @@ impl NodeState {
             waiting_retry: None,
             last_nackers: SharerSet::EMPTY,
             force_nack_once: false,
+            trace_mask: ChannelMask::NONE,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -235,6 +247,36 @@ impl NodeState {
         self.waiting_retry = None;
         self.last_nackers = SharerSet::EMPTY;
         self.force_nack_once = false;
+        self.trace_mask = ChannelMask::NONE;
+        self.trace_buf.clear();
+    }
+
+    /// Set the effective trace mask (the node emits `Htm`-channel events).
+    pub fn set_trace_mask(&mut self, mask: ChannelMask) {
+        self.trace_mask = mask;
+    }
+
+    #[inline]
+    fn htm_trace_on(&self) -> bool {
+        self.trace_mask.contains(TraceChannel::Htm)
+    }
+
+    /// Whether any recorded events await draining.
+    #[inline]
+    pub fn has_trace_events(&self) -> bool {
+        !self.trace_buf.is_empty()
+    }
+
+    /// Hand the recorded events to the system (paired with
+    /// [`NodeState::restore_trace_buf`] so the allocation is reused).
+    pub fn take_trace_buf(&mut self) -> Vec<(Cycle, TraceEvent)> {
+        std::mem::take(&mut self.trace_buf)
+    }
+
+    /// Give back the drained buffer from [`NodeState::take_trace_buf`].
+    pub fn restore_trace_buf(&mut self, buf: Vec<(Cycle, TraceEvent)>) {
+        debug_assert!(buf.is_empty(), "restoring a non-empty trace buffer");
+        self.trace_buf = buf;
     }
 
     /// Fault injection: the next forward that this node would comply with
@@ -263,7 +305,7 @@ impl NodeState {
         if self.htm.current().is_none() {
             return (false, eff);
         }
-        self.abort_current_tx(now, AbortCause::Injected, memory, &mut eff);
+        self.abort_current_tx(now, AbortCause::Injected, None, memory, &mut eff);
         (true, eff)
     }
 
@@ -345,9 +387,22 @@ impl NodeState {
                     prior_aborts: 0,
                 }
             });
+            let (tx, timestamp, prior_aborts) = (cur.tx, cur.timestamp, cur.prior_aborts);
             self.htm
-                .begin(now, spec.static_tx, cur.tx, cur.timestamp, cur.prior_aborts);
+                .begin(now, spec.static_tx, tx, timestamp, prior_aborts);
             self.op_idx = 0;
+            if self.htm_trace_on() {
+                self.trace_buf.push((
+                    now,
+                    TraceEvent::HtmBegin {
+                        node: self.id,
+                        tx,
+                        static_tx: spec.static_tx,
+                        timestamp,
+                        attempt: prior_aborts,
+                    },
+                ));
+            }
             return Effects::default().wake(now + 1);
         }
         if self.op_idx < spec.ops.len() {
@@ -376,6 +431,17 @@ impl NodeState {
             let out = self.htm.commit(now);
             self.txlb.record_commit(out.static_tx, out.length);
             self.l1.unpin_all();
+            if self.htm_trace_on() {
+                let tx = self.cur_tx.expect("commit without tx identity").tx;
+                self.trace_buf.push((
+                    now,
+                    TraceEvent::HtmCommit {
+                        node: self.id,
+                        tx,
+                        length: out.length,
+                    },
+                ));
+            }
             self.cur_tx = None;
             self.pc += 1;
             self.op_idx = 0;
@@ -609,6 +675,18 @@ impl NodeState {
                         self.pending_wakeups.push((requester, addr));
                     }
                 }
+                if self.htm_trace_on() {
+                    self.trace_buf.push((
+                        now,
+                        TraceEvent::HtmNackSent {
+                            node: self.id,
+                            requester,
+                            addr,
+                            notified: notification.is_some(),
+                            mispredict,
+                        },
+                    ));
+                }
                 let terminal = unicast || !matches!(msg, CoherenceMsg::Inv { .. });
                 eff.sends.push((
                     requester,
@@ -629,7 +707,7 @@ impl NodeState {
                     IncomingKind::Write => AbortCause::TxWriteInvalidation,
                     IncomingKind::Read => AbortCause::TxReadConflict,
                 };
-                self.abort_current_tx(now, cause, memory, &mut eff);
+                self.abort_current_tx(now, cause, Some((requester, addr)), memory, &mut eff);
                 self.comply(now, addr, requester, msg, true, &mut eff);
             }
         }
@@ -708,15 +786,32 @@ impl NodeState {
     }
 
     /// Abort the running transaction (conflict loser or capacity): roll
-    /// back memory, unpin, and schedule the re-execution.
+    /// back memory, unpin, and schedule the re-execution. `by` names the
+    /// aborter node and conflicting line for conflict aborts (`None` for
+    /// injected faults) — the attribution the blame matrix is built from.
     fn abort_current_tx(
         &mut self,
         now: Cycle,
         cause: AbortCause,
+        by: Option<(NodeId, LineAddr)>,
         memory: &mut MemoryImage,
         eff: &mut Effects,
     ) {
+        let discarded = self.htm.current().map_or(0, |ctx| ctx.effort(now));
         let out = self.htm.abort(now, cause);
+        if self.htm_trace_on() {
+            self.trace_buf.push((
+                now,
+                TraceEvent::HtmAbort {
+                    node: self.id,
+                    tx: out.tx,
+                    cause: cause.trace_code(),
+                    by: by.map(|(node, _)| node),
+                    addr: by.map(|(_, addr)| addr),
+                    discarded,
+                },
+            ));
+        }
         memory.rollback(out.rollback);
         self.l1.unpin_all();
         // The aborting transaction's isolation is gone: requesters it
@@ -910,6 +1005,16 @@ impl NodeState {
                 };
                 if mshr.is_tx {
                     self.htm.note_stall(bo);
+                }
+                if self.htm_trace_on() {
+                    self.trace_buf.push((
+                        now,
+                        TraceEvent::HtmStall {
+                            node: self.id,
+                            addr: mshr.addr,
+                            backoff: bo,
+                        },
+                    ));
                 }
                 let stats = self.htm.stats_mut();
                 stats.nacks_received.inc();

@@ -297,6 +297,7 @@ mod tests {
                 PunoStats::default(),
                 puno_sim::FaultStats::default(),
                 crate::metrics::HostPerf::default(),
+                None,
             ),
         }
     }

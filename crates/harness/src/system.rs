@@ -7,6 +7,7 @@ use crate::memory::MemoryImage;
 use crate::metrics::RunMetrics;
 use crate::node::{Effects, NodeState};
 use crate::oracle::FalseAbortOracle;
+use crate::telemetry::{TelemetryCollector, TelemetryConfig};
 use puno_coherence::directory::{DirAction, DirectoryBank};
 use puno_coherence::l1::L1Cache;
 use puno_coherence::msg::{CoherenceMsg, TxInfo};
@@ -18,7 +19,8 @@ use puno_htm::unit::HtmUnit;
 use puno_htm::{BackoffEngine, HtmStats};
 use puno_noc::Network;
 use puno_sim::{
-    Cycle, Cycles, EventQueue, FaultInjector, FaultKind, FaultPlan, LineAddr, NodeId, SimRng,
+    ChannelMask, Cycle, Cycles, EventQueue, FaultInjector, FaultKind, FaultPlan, LineAddr, NodeId,
+    SimRng, TraceChannel, TraceEvent, Tracer,
 };
 use puno_workloads::{ProgramSet, WorkloadParams};
 
@@ -124,7 +126,14 @@ pub struct System {
     net_step_armed: bool,
     nodes_done: usize,
     finish_cycle: Cycle,
-    trace: puno_sim::TraceRing,
+    tracer: Tracer,
+    /// Aggregating collector for `RunMetrics::telemetry` (off by default).
+    telemetry: Option<TelemetryCollector>,
+    /// Channels some sink wants: the tracer's mask unioned with what the
+    /// telemetry collector needs. Cached so the per-event check is one
+    /// bit test; [`System::recompute_trace_masks`] keeps it (and the
+    /// per-node HTM masks) coherent.
+    trace_mask: ChannelMask,
     fault: FaultInjector,
     /// Extra delay owed to each node's next injected message (accumulated
     /// by scheduled `DelayJitter` fault events).
@@ -241,7 +250,9 @@ impl System {
             net_step_armed: false,
             nodes_done: 0,
             finish_cycle: 0,
-            trace: puno_sim::TraceRing::disabled(),
+            tracer: Tracer::off(),
+            telemetry: None,
+            trace_mask: ChannelMask::NONE,
             fault: FaultInjector::new(FaultPlan::none()),
             pending_jitter: vec![0; nodes_n as usize],
             last_cycle: 0,
@@ -343,7 +354,9 @@ impl System {
         self.net_step_armed = false;
         self.nodes_done = 0;
         self.finish_cycle = 0;
-        self.trace = puno_sim::TraceRing::disabled();
+        self.tracer = Tracer::off();
+        self.telemetry = None;
+        self.trace_mask = ChannelMask::NONE;
         self.fault = FaultInjector::new(FaultPlan::none());
         self.pending_jitter.fill(0);
         self.last_cycle = 0;
@@ -379,15 +392,92 @@ impl System {
         &self.fault.stats
     }
 
-    /// Keep the last `capacity` delivered protocol messages for debugging;
-    /// retrieve them with [`System::trace_dump`].
+    /// Keep the last `capacity` trace events (all channels) in a ring for
+    /// debugging; retrieve them with [`System::trace_dump`]. Shorthand for
+    /// [`System::install_tracer`] with an all-channel ring tracer.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = puno_sim::TraceRing::enabled(capacity);
+        self.install_tracer(Tracer::ring(ChannelMask::ALL, capacity));
     }
 
-    /// Render the retained message trace.
+    /// Install a configured [`Tracer`] (channel mask, ring, optional JSONL
+    /// sink) and propagate the effective channel mask to the nodes.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        self.recompute_trace_masks();
+    }
+
+    /// Aggregate per-transaction telemetry into `RunMetrics::telemetry`
+    /// (abort blame, contention heat, windowed time series).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(TelemetryCollector::new(config));
+        self.recompute_trace_masks();
+    }
+
+    /// Recompute the cached effective channel mask (tracer ∪ telemetry
+    /// needs) and push the HTM slice down to the nodes, which buffer their
+    /// own lifecycle events.
+    fn recompute_trace_masks(&mut self) {
+        let mut mask = self.tracer.mask();
+        if self.telemetry.is_some() {
+            mask = mask.union(TelemetryCollector::channels());
+        }
+        self.trace_mask = mask;
+        let node_mask = if mask.contains(TraceChannel::Htm) {
+            ChannelMask::NONE.with(TraceChannel::Htm)
+        } else {
+            ChannelMask::NONE
+        };
+        for n in &mut self.nodes {
+            n.set_trace_mask(node_mask);
+        }
+    }
+
+    /// The installed tracer (ring/JSONL inspection after a run).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (e.g. to flush the JSONL sink mid-run).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Render the retained trace ring.
     pub fn trace_dump(&self) -> String {
-        self.trace.dump()
+        self.tracer.dump()
+    }
+
+    /// Record `event` in every interested sink. Callers check
+    /// `self.trace_mask` (via [`System::emit`]) before constructing events,
+    /// so this is never reached on the tracing-off path.
+    fn sink(&mut self, now: Cycle, event: &TraceEvent) {
+        self.tracer.record(now, event);
+        if let Some(t) = &mut self.telemetry {
+            t.observe(now, event);
+        }
+    }
+
+    /// Lazily build and record one trace event: `f` only runs when some
+    /// sink subscribed to `ch`, so disabled tracing costs one bit test.
+    #[inline]
+    fn emit(&mut self, now: Cycle, ch: TraceChannel, f: impl FnOnce() -> TraceEvent) {
+        if self.trace_mask.contains(ch) {
+            self.sink(now, &f());
+        }
+    }
+
+    /// Move the HTM lifecycle events a node buffered during its last call
+    /// into the sinks (the buffer allocation is recycled).
+    fn drain_node_trace(&mut self, node: NodeId) {
+        let idx = node.index();
+        if !self.nodes[idx].has_trace_events() {
+            return;
+        }
+        let mut buf = self.nodes[idx].take_trace_buf();
+        for (cycle, event) in buf.drain(..) {
+            self.sink(cycle, &event);
+        }
+        self.nodes[idx].restore_trace_buf(buf);
     }
 
     pub fn memory(&self) -> &MemoryImage {
@@ -464,6 +554,11 @@ impl System {
     /// abort-recoverable: messages are delayed or refused, never dropped,
     /// and forced aborts reuse the ordinary abort/restart path.
     fn on_fault(&mut self, now: Cycle, kind: FaultKind, node: NodeId, magnitude: Cycles) {
+        self.emit(now, TraceChannel::Fault, || TraceEvent::FaultFired {
+            kind,
+            node,
+            magnitude,
+        });
         match kind {
             FaultKind::DelayJitter => {
                 // Owed to the node's next injected message; recorded when
@@ -484,6 +579,7 @@ impl System {
                 if fired {
                     self.fault.record_forced_abort();
                 }
+                self.drain_node_trace(node);
                 self.apply_effects(now, node, eff);
             }
         }
@@ -505,7 +601,7 @@ impl System {
             Ok(()) => {}
             Err(e) => panic!("{e}"),
         }
-        let dump = self.trace.dump();
+        let dump = self.tracer.dump();
         (self.finalize(), dump)
     }
 
@@ -687,7 +783,7 @@ impl System {
                 .map(|n| n.id.0)
                 .collect(),
             wait_for: self.nack_wait_for_graph(),
-            trace: self.trace.dump(),
+            trace: self.tracer.dump(),
         }
     }
 
@@ -698,7 +794,7 @@ impl System {
             cycles: now,
             commit_window,
             wait_for: self.nack_wait_for_graph(),
-            trace: self.trace.dump(),
+            trace: self.tracer.dump(),
         }
     }
 
@@ -725,6 +821,7 @@ impl System {
                 },
             );
         }
+        self.drain_node_trace(node);
         self.apply_effects(now, node, eff);
     }
 
@@ -737,13 +834,22 @@ impl System {
             self.queue.schedule_at(now + 1, Event::NetStep);
         }
         for (dst, msg) in delivered.drain(..) {
+            self.emit(now, TraceChannel::Noc, || TraceEvent::NocDeliver {
+                dst,
+                vnet: msg.vnet().index() as u8,
+                flits: msg.flits(),
+            });
             self.deliver(now, dst, msg);
         }
         self.delivery_scratch = delivered;
     }
 
     fn deliver(&mut self, now: Cycle, dst: NodeId, msg: CoherenceMsg) {
-        self.trace.record(now, || format!("-> {dst:?}: {msg:?}"));
+        self.emit(now, TraceChannel::Coh, || TraceEvent::CohRecv {
+            dst,
+            kind: msg.trace_kind(),
+            addr: msg.addr(),
+        });
         match &msg {
             // Home-directory traffic.
             CoherenceMsg::Gets { .. }
@@ -757,6 +863,25 @@ impl System {
                     puno_coherence::home_node(msg.addr(), self.config.nodes()),
                     "directory message delivered to a non-home node"
                 );
+                // The transition event needs the message identity after
+                // `handle_into` consumes it; capture it only when traced.
+                let dir_info = self
+                    .trace_mask
+                    .contains(TraceChannel::Dir)
+                    .then(|| (msg.trace_kind(), msg.addr()));
+                if let CoherenceMsg::Unblock {
+                    addr,
+                    mp_node: Some(mp),
+                    ..
+                } = &msg
+                {
+                    let (addr, mp) = (*addr, *mp);
+                    self.emit(now, TraceChannel::Pred, || TraceEvent::PredMispredict {
+                        home: dst,
+                        addr,
+                        node: mp,
+                    });
+                }
                 let mut actions = std::mem::take(&mut self.dir_scratch);
                 debug_assert!(actions.is_empty(), "dir scratch reentered");
                 self.dirs[dst.index()].handle_into(
@@ -767,6 +892,19 @@ impl System {
                 );
                 self.apply_dir_actions(now, dst, &mut actions);
                 self.dir_scratch = actions;
+                if let Some((kind, addr)) = dir_info {
+                    let (state, busy) = self.dirs[dst.index()].trace_state(addr);
+                    self.sink(
+                        now,
+                        &TraceEvent::DirState {
+                            home: dst,
+                            kind,
+                            addr,
+                            state,
+                            busy,
+                        },
+                    );
+                }
             }
             // Forwards to sharers/owners.
             CoherenceMsg::Inv { .. }
@@ -779,6 +917,7 @@ impl System {
                     self.nodes[dst.index()].arm_spurious_nack();
                 }
                 let eff = self.nodes[dst.index()].on_forward(now, &msg, &mut self.memory);
+                self.drain_node_trace(dst);
                 self.apply_effects(now, dst, eff);
             }
             // Responses to a requester (or WbAck to an evictor).
@@ -788,11 +927,13 @@ impl System {
             | CoherenceMsg::Nack { .. }
             | CoherenceMsg::WbAck { .. } => {
                 let eff = self.nodes[dst.index()].on_response(now, &msg, &mut self.memory);
+                self.drain_node_trace(dst);
                 self.apply_effects(now, dst, eff);
             }
             // Extension: early end of a notified backoff.
             CoherenceMsg::WakeupHint { addr, .. } => {
                 let eff = self.nodes[dst.index()].on_wakeup_hint(now, *addr);
+                self.drain_node_trace(dst);
                 self.apply_effects(now, dst, eff);
             }
         }
@@ -804,6 +945,24 @@ impl System {
         for action in actions.drain(..) {
             match action {
                 DirAction::Send { dst, msg, delay } => {
+                    self.emit(now, TraceChannel::Dir, || TraceEvent::DirSend {
+                        home,
+                        dst,
+                        kind: msg.trace_kind(),
+                        addr: msg.addr(),
+                        delay,
+                    });
+                    if matches!(
+                        &msg,
+                        CoherenceMsg::Inv { unicast: true, .. }
+                            | CoherenceMsg::FwdGetx { unicast: true, .. }
+                    ) {
+                        self.emit(now, TraceChannel::Pred, || TraceEvent::PredUnicast {
+                            home,
+                            addr: msg.addr(),
+                            target: dst,
+                        });
+                    }
                     if delay == 0 {
                         self.inject(now, home, dst, msg);
                     } else {
@@ -812,6 +971,11 @@ impl System {
                     }
                 }
                 DirAction::FetchMem { addr, delay } => {
+                    self.emit(now, TraceChannel::Dir, || TraceEvent::DirFetchMem {
+                        home,
+                        addr,
+                        delay,
+                    });
                     self.queue
                         .schedule_at(now + delay, Event::MemReady { home, addr });
                 }
@@ -850,6 +1014,12 @@ impl System {
     /// [`System::inject_now`] — no RNG is consulted, keeping fault-free
     /// runs bit-identical.
     fn inject(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: CoherenceMsg) {
+        self.emit(now, TraceChannel::Coh, || TraceEvent::CohSend {
+            src,
+            dst,
+            kind: msg.trace_kind(),
+            addr: msg.addr(),
+        });
         if !self.fault.is_empty() {
             let owed = std::mem::take(&mut self.pending_jitter[src.index()]);
             let delay = if owed > 0 {
@@ -873,6 +1043,12 @@ impl System {
     fn inject_now(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: CoherenceMsg) {
         let vnet = msg.vnet();
         let flits = msg.flits();
+        self.emit(now, TraceChannel::Noc, || TraceEvent::NocInject {
+            src,
+            dst,
+            vnet: vnet.index() as u8,
+            flits,
+        });
         self.network.inject(now, src, dst, vnet, flits, msg);
         if !self.net_step_armed {
             self.net_step_armed = true;
@@ -915,6 +1091,7 @@ impl System {
                 ..Default::default()
             }
             .finish(self.finish_cycle),
+            self.telemetry.as_ref().map(|t| t.report()),
         )
     }
 }

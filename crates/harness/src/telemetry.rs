@@ -1,0 +1,449 @@
+//! Per-transaction telemetry aggregated from the typed trace stream.
+//!
+//! A [`TelemetryCollector`] consumes the same [`TraceEvent`]s the tracer
+//! sinks and folds them into three reports the paper's analysis keeps
+//! asking for in aggregate form:
+//!
+//! * an **abort-blame matrix** — who aborted whom, built from the aborter
+//!   attribution carried by `HtmAbort` events (cross-checkable against the
+//!   `FalseAbortOracle` and `HtmStats` abort counts),
+//! * a **per-line contention heat table** — the top-N hottest lines by
+//!   NACKs + conflict aborts, and
+//! * a **windowed time series** — commits/aborts/NACKs/flits per cycle
+//!   epoch, size-bounded by doubling the epoch width whenever the sample
+//!   count would exceed the configured maximum.
+//!
+//! Everything here is a pure function of the (deterministic) event stream,
+//! so the serialized [`TelemetryReport`] is bit-identical across runs and
+//! safe to embed in `RunMetrics`.
+
+use puno_sim::{ChannelMask, Cycle, Cycles, TraceChannel, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Size bounds and epoch width for the collector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Initial cycles per time-series epoch (doubles under pressure).
+    pub epoch_cycles: Cycles,
+    /// Maximum retained epoch samples; exceeding it merges adjacent pairs
+    /// and doubles the epoch width.
+    pub max_epochs: usize,
+    /// Rows kept in the contention heat table.
+    pub heat_top_n: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            epoch_cycles: 8192,
+            max_epochs: 64,
+            heat_top_n: 16,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeAgg {
+    commits: u64,
+    aborts: u64,
+    retries: u64,
+    running_cycles: u64,
+    stalled_cycles: u64,
+    discarded_cycles: u64,
+}
+
+/// Folds trace events into the aggregates of [`TelemetryReport`].
+#[derive(Debug)]
+pub struct TelemetryCollector {
+    config: TelemetryConfig,
+    /// Current epoch width (>= `config.epoch_cycles`; doubles).
+    epoch_cycles: Cycles,
+    epochs: Vec<EpochSample>,
+    /// (aborter, victim) -> count.
+    blame: BTreeMap<(u16, u16), u64>,
+    /// line addr -> (nacks, conflict aborts).
+    heat: BTreeMap<u64, (u64, u64)>,
+    nodes: BTreeMap<u16, NodeAgg>,
+}
+
+impl TelemetryCollector {
+    pub fn new(config: TelemetryConfig) -> Self {
+        assert!(config.epoch_cycles > 0, "epoch width must be positive");
+        assert!(config.max_epochs >= 2, "need at least two epoch samples");
+        Self {
+            config,
+            epoch_cycles: config.epoch_cycles,
+            epochs: Vec::new(),
+            blame: BTreeMap::new(),
+            heat: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// The channels the collector needs to see (`Htm` for lifecycle and
+    /// blame, `Noc` for the flit time series).
+    pub fn channels() -> ChannelMask {
+        ChannelMask::NONE
+            .with(TraceChannel::Htm)
+            .with(TraceChannel::Noc)
+    }
+
+    fn epoch_mut(&mut self, cycle: Cycle) -> &mut EpochSample {
+        let mut idx = (cycle / self.epoch_cycles) as usize;
+        while idx >= self.config.max_epochs {
+            self.coalesce();
+            idx = (cycle / self.epoch_cycles) as usize;
+        }
+        if idx >= self.epochs.len() {
+            self.epochs.resize(idx + 1, EpochSample::default());
+        }
+        &mut self.epochs[idx]
+    }
+
+    /// Merge adjacent epoch pairs and double the width (deterministic:
+    /// depends only on the sample vector).
+    fn coalesce(&mut self) {
+        let merged: Vec<EpochSample> = self
+            .epochs
+            .chunks(2)
+            .map(|pair| {
+                let mut acc = pair[0];
+                if let Some(b) = pair.get(1) {
+                    acc.commits += b.commits;
+                    acc.aborts += b.aborts;
+                    acc.nacks += b.nacks;
+                    acc.flits += b.flits;
+                }
+                acc
+            })
+            .collect();
+        self.epochs = merged;
+        self.epoch_cycles *= 2;
+    }
+
+    /// Fold one event (cheap; called for every unfiltered event).
+    pub fn observe(&mut self, cycle: Cycle, event: &TraceEvent) {
+        match *event {
+            TraceEvent::HtmCommit { node, length, .. } => {
+                self.epoch_mut(cycle).commits += 1;
+                let agg = self.nodes.entry(node.0).or_default();
+                agg.commits += 1;
+                agg.running_cycles += length;
+            }
+            TraceEvent::HtmAbort {
+                node,
+                by,
+                addr,
+                discarded,
+                ..
+            } => {
+                self.epoch_mut(cycle).aborts += 1;
+                let agg = self.nodes.entry(node.0).or_default();
+                agg.aborts += 1;
+                agg.discarded_cycles += discarded;
+                if let Some(aborter) = by {
+                    *self.blame.entry((aborter.0, node.0)).or_insert(0) += 1;
+                }
+                if let Some(addr) = addr {
+                    self.heat.entry(addr.0).or_insert((0, 0)).1 += 1;
+                }
+            }
+            TraceEvent::HtmNackSent { addr, .. } => {
+                self.epoch_mut(cycle).nacks += 1;
+                self.heat.entry(addr.0).or_insert((0, 0)).0 += 1;
+            }
+            TraceEvent::HtmStall { node, backoff, .. } => {
+                let agg = self.nodes.entry(node.0).or_default();
+                agg.retries += 1;
+                agg.stalled_cycles += backoff;
+            }
+            TraceEvent::NocInject { flits, .. } => {
+                self.epoch_mut(cycle).flits += flits as u64;
+            }
+            _ => {}
+        }
+    }
+
+    /// Assemble the serializable report.
+    pub fn report(&self) -> TelemetryReport {
+        let blame = self
+            .blame
+            .iter()
+            .map(|(&(aborter, victim), &count)| BlameEntry {
+                aborter,
+                victim,
+                count,
+            })
+            .collect();
+        let mut heat: Vec<LineHeat> = self
+            .heat
+            .iter()
+            .map(|(&addr, &(nacks, aborts))| LineHeat {
+                addr,
+                nacks,
+                aborts,
+            })
+            .collect();
+        // Hottest first: conflicts descending, address ascending for ties.
+        heat.sort_by(|a, b| (b.nacks + b.aborts, a.addr).cmp(&(a.nacks + a.aborts, b.addr)));
+        heat.truncate(self.config.heat_top_n);
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|(&node, agg)| NodeTxSummary {
+                node,
+                commits: agg.commits,
+                aborts: agg.aborts,
+                retries: agg.retries,
+                running_cycles: agg.running_cycles,
+                stalled_cycles: agg.stalled_cycles,
+                discarded_cycles: agg.discarded_cycles,
+            })
+            .collect();
+        TelemetryReport {
+            epoch_cycles: self.epoch_cycles,
+            epochs: self.epochs.clone(),
+            blame,
+            heat,
+            nodes,
+        }
+    }
+}
+
+/// One time-series window: activity within `epoch_cycles` cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochSample {
+    pub commits: u64,
+    pub aborts: u64,
+    pub nacks: u64,
+    pub flits: u64,
+}
+
+/// One abort-blame matrix cell: `aborter` killed `victim`'s transaction
+/// `count` times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameEntry {
+    pub aborter: u16,
+    pub victim: u16,
+    pub count: u64,
+}
+
+/// One contention heat-table row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineHeat {
+    pub addr: u64,
+    pub nacks: u64,
+    pub aborts: u64,
+}
+
+/// Per-node transaction lifecycle totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTxSummary {
+    pub node: u16,
+    pub commits: u64,
+    pub aborts: u64,
+    pub retries: u64,
+    /// Wall cycles of committed attempts (begin -> commit).
+    pub running_cycles: u64,
+    /// Backoff cycles spent waiting to retry nacked requests.
+    pub stalled_cycles: u64,
+    /// Execution effort discarded by aborts (Figure 14's D component).
+    pub discarded_cycles: u64,
+}
+
+/// The serialized telemetry for one run (`RunMetrics::telemetry`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Final epoch width in cycles (>= configured; doubles under pressure).
+    pub epoch_cycles: u64,
+    pub epochs: Vec<EpochSample>,
+    pub blame: Vec<BlameEntry>,
+    pub heat: Vec<LineHeat>,
+    pub nodes: Vec<NodeTxSummary>,
+}
+
+impl TelemetryReport {
+    /// Total aborts across the blame matrix (== conflict aborts: injected
+    /// and capacity aborts carry no aborter).
+    pub fn blame_total(&self) -> u64 {
+        self.blame.iter().map(|b| b.count).sum()
+    }
+
+    /// Total commits in the time series (== `RunMetrics::committed`).
+    pub fn commits_total(&self) -> u64 {
+        self.epochs.iter().map(|e| e.commits).sum()
+    }
+
+    /// Total aborts in the time series (== `HtmStats::aborts`).
+    pub fn aborts_total(&self) -> u64 {
+        self.epochs.iter().map(|e| e.aborts).sum()
+    }
+
+    /// Human-readable rendering (the `sweep_all --trace` summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "time series: {} epochs x {} cycles (commits/aborts/nacks/flits)",
+            self.epochs.len(),
+            self.epoch_cycles
+        );
+        for (i, e) in self.epochs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [{:>3}] {:>6} / {:>6} / {:>6} / {:>8}",
+                i, e.commits, e.aborts, e.nacks, e.flits
+            );
+        }
+        let _ = writeln!(out, "abort blame (aborter -> victim: count):");
+        if self.blame.is_empty() {
+            let _ = writeln!(out, "  (no conflict aborts)");
+        }
+        for b in &self.blame {
+            let _ = writeln!(
+                out,
+                "  node {:>2} -> node {:>2}: {}",
+                b.aborter, b.victim, b.count
+            );
+        }
+        let _ = writeln!(out, "contention heat (top {} lines):", self.heat.len());
+        for h in &self.heat {
+            let _ = writeln!(
+                out,
+                "  line {:#8x}: {:>6} nacks, {:>6} aborts",
+                h.addr, h.nacks, h.aborts
+            );
+        }
+        let _ = writeln!(
+            out,
+            "per-node lifecycle (commits/aborts/retries, running/stalled/discarded cycles):"
+        );
+        for n in &self.nodes {
+            let _ = writeln!(
+                out,
+                "  node {:>2}: {:>5} / {:>5} / {:>5}, {:>9} / {:>9} / {:>9}",
+                n.node,
+                n.commits,
+                n.aborts,
+                n.retries,
+                n.running_cycles,
+                n.stalled_cycles,
+                n.discarded_cycles
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puno_sim::{LineAddr, NodeId, TxId};
+
+    fn commit(node: u16, length: u64) -> TraceEvent {
+        TraceEvent::HtmCommit {
+            node: NodeId(node),
+            tx: TxId(1),
+            length,
+        }
+    }
+
+    #[test]
+    fn epoch_doubling_bounds_the_series() {
+        let mut c = TelemetryCollector::new(TelemetryConfig {
+            epoch_cycles: 10,
+            max_epochs: 4,
+            heat_top_n: 4,
+        });
+        for cycle in (0..400).step_by(10) {
+            c.observe(cycle, &commit(0, 5));
+        }
+        let r = c.report();
+        assert!(
+            r.epochs.len() <= 4,
+            "epochs {} exceed bound",
+            r.epochs.len()
+        );
+        assert_eq!(r.commits_total(), 40);
+        assert!(r.epoch_cycles > 10, "width must have doubled");
+    }
+
+    #[test]
+    fn blame_and_heat_attribute_conflict_aborts() {
+        let mut c = TelemetryCollector::new(TelemetryConfig::default());
+        let abort = TraceEvent::HtmAbort {
+            node: NodeId(2),
+            tx: TxId(1),
+            cause: puno_sim::AbortCauseCode::TxWriteInvalidation,
+            by: Some(NodeId(5)),
+            addr: Some(LineAddr(0x40)),
+            discarded: 100,
+        };
+        c.observe(10, &abort);
+        c.observe(20, &abort);
+        let injected = TraceEvent::HtmAbort {
+            node: NodeId(2),
+            tx: TxId(1),
+            cause: puno_sim::AbortCauseCode::Injected,
+            by: None,
+            addr: None,
+            discarded: 1,
+        };
+        c.observe(30, &injected);
+        let r = c.report();
+        assert_eq!(r.blame_total(), 2, "injected abort carries no blame");
+        assert_eq!(r.blame[0].aborter, 5);
+        assert_eq!(r.blame[0].victim, 2);
+        assert_eq!(r.aborts_total(), 3);
+        assert_eq!(r.heat[0].addr, 0x40);
+        assert_eq!(r.heat[0].aborts, 2);
+        assert_eq!(r.nodes[0].discarded_cycles, 201);
+    }
+
+    #[test]
+    fn heat_table_is_top_n_hottest_first() {
+        let mut c = TelemetryCollector::new(TelemetryConfig {
+            heat_top_n: 2,
+            ..TelemetryConfig::default()
+        });
+        for (addr, n) in [(1u64, 3), (2, 5), (3, 1)] {
+            for _ in 0..n {
+                c.observe(
+                    0,
+                    &TraceEvent::HtmNackSent {
+                        node: NodeId(0),
+                        requester: NodeId(1),
+                        addr: LineAddr(addr),
+                        notified: false,
+                        mispredict: false,
+                    },
+                );
+            }
+        }
+        let r = c.report();
+        assert_eq!(r.heat.len(), 2);
+        assert_eq!(r.heat[0].addr, 2);
+        assert_eq!(r.heat[1].addr, 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mut c = TelemetryCollector::new(TelemetryConfig::default());
+        c.observe(5, &commit(1, 50));
+        c.observe(
+            6,
+            &TraceEvent::NocInject {
+                src: NodeId(0),
+                dst: NodeId(1),
+                vnet: 0,
+                flits: 5,
+            },
+        );
+        let r = c.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -43,6 +43,19 @@ impl AbortCause {
             AbortCause::Injected => 4,
         }
     }
+
+    /// The layering-neutral mirror of this cause used by the typed trace
+    /// events in `puno_sim::trace` (the sim kernel cannot depend on this
+    /// crate).
+    pub fn trace_code(self) -> puno_sim::AbortCauseCode {
+        match self {
+            AbortCause::TxWriteInvalidation => puno_sim::AbortCauseCode::TxWriteInvalidation,
+            AbortCause::TxReadConflict => puno_sim::AbortCauseCode::TxReadConflict,
+            AbortCause::NonTxConflict => puno_sim::AbortCauseCode::NonTxConflict,
+            AbortCause::Capacity => puno_sim::AbortCauseCode::Capacity,
+            AbortCause::Injected => puno_sim::AbortCauseCode::Injected,
+        }
+    }
 }
 
 /// Per-node (mergeable) HTM statistics.

@@ -36,6 +36,15 @@ impl VirtualNetwork {
             VirtualNetwork::Response => 2,
         }
     }
+
+    /// Short lowercase name (trace output and exporter track labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            VirtualNetwork::Request => "request",
+            VirtualNetwork::Forward => "forward",
+            VirtualNetwork::Response => "response",
+        }
+    }
 }
 
 /// A packet in flight. `P` is the protocol payload; the network treats it as

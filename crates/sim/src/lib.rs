@@ -32,4 +32,7 @@ pub use ids::{LineAddr, NodeId, StaticTxId, Timestamp, TxId};
 pub use linemap::{LineKey, LineMap, LineSet};
 pub use rng::{SimRng, ZipfSampler};
 pub use stats::{Counter, Ewma, Histogram, RunningStats};
-pub use trace::TraceRing;
+pub use trace::{
+    AbortCauseCode, ChannelMask, CohMsgKind, DirLineState, TraceChannel, TraceConfig, TraceEvent,
+    TraceRecord, TraceRing, Tracer,
+};

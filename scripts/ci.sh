@@ -38,6 +38,25 @@ grep -q "result cache: 4 hits, 0 misses" "$CACHE_DIR/warm.err" \
     || { echo "warm pass did not hit the cache:"; cat "$CACHE_DIR/warm.err"; exit 1; }
 echo "cache smoke OK (4/4 warm hits, byte-identical output)"
 
+echo "== traced smoke (one cell, JSONL schema + Chrome export) =="
+# Re-run one sweep cell fully traced: every JSONL line must parse as a
+# trace record within the requested channel filter, and the Chrome-trace
+# conversion must succeed. Runs inside the cache dir to prove --trace
+# bypasses the result cache (the cell is warm from the cache smoke above).
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_TRACE="htm,coh,noc" PUNO_TRACE_OUT="$CACHE_DIR" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 \
+    --trace ssca2:baseline > "$CACHE_DIR/traced.txt"
+TRACE_JSONL="$CACHE_DIR/trace_ssca2_baseline_s1.jsonl"
+[ -s "$TRACE_JSONL" ] || { echo "traced cell produced no JSONL stream"; exit 1; }
+cargo run --offline --release -q -p puno-harness --bin trace_export -- \
+    "$TRACE_JSONL" --validate --channels htm,coh,noc
+cargo run --offline --release -q -p puno-harness --bin trace_export -- \
+    "$TRACE_JSONL" --out "$CACHE_DIR/trace.chrome.json"
+[ -s "$CACHE_DIR/trace.chrome.json" ] || { echo "Chrome export is empty"; exit 1; }
+grep -q "abort blame" "$CACHE_DIR/traced.txt" \
+    || { echo "traced cell printed no telemetry summary"; exit 1; }
+echo "traced smoke OK"
+
 echo "== substrate bench smoke (vs checked-in baseline) =="
 # Fails if any benchmark runs >25% slower than results/BENCH_substrate_baseline.json,
 # or on missing-key drift in either direction (a benchmark added without a

@@ -239,13 +239,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input came from &str, so
-                    // the byte sequence is valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error::custom("bad utf8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run up to the next delimiter in one
+                    // slice. `"` and `\` are ASCII, so stopping on them can
+                    // never split a multi-byte character, and the run is
+                    // valid UTF-8 because the input came from a `&str`.
+                    // (Validating per character from `self.pos..` made large
+                    // documents quadratic.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::custom("bad utf8"))?;
+                    out.push_str(s);
                 }
             }
         }
