@@ -85,7 +85,7 @@ struct Busy {
     tx_getx: bool,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Entry {
     state: Stable,
     sharers: SharerSet,
@@ -134,6 +134,7 @@ pub enum DirAction {
 }
 
 /// One home directory bank.
+#[derive(Clone)]
 pub struct DirectoryBank {
     home: NodeId,
     config: DirConfig,

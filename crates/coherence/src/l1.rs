@@ -84,6 +84,7 @@ pub enum Eviction {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CapacityConflict;
 
+#[derive(Clone)]
 pub struct L1Cache {
     config: L1Config,
     /// Flat preallocated tag array, `sets × ways` slots: set `s` owns

@@ -21,6 +21,7 @@ use puno_coherence::{PredictedTarget, SharerSet, TxInfo, UnicastPredictor};
 use puno_sim::{Cycle, LineAddr, NodeId};
 use std::collections::HashMap;
 
+#[derive(Clone)]
 pub struct PunoPredictor {
     config: PunoConfig,
     pbuffer: PBuffer,

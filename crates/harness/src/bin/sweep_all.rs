@@ -16,9 +16,9 @@
 //! prints to stdout. The result cache is bypassed — a cache hit replays no
 //! events, so it could never produce a trace.
 
-use puno_harness::report::{render_host_perf, FigureMetric, NormalizedFigure};
-use puno_harness::sweep::sweep;
-use puno_harness::{Mechanism, System, SystemConfig, TelemetryConfig};
+use puno_harness::report::{render_host_perf, render_quarantine, FigureMetric, NormalizedFigure};
+use puno_harness::sweep::{try_sweep, CellOutcome, SweepOptions};
+use puno_harness::{Mechanism, SweepResult, System, SystemConfig, TelemetryConfig};
 use puno_workloads::{table1_rows, WorkloadId};
 use std::path::PathBuf;
 
@@ -176,20 +176,50 @@ fn main() {
         return;
     }
     let t0 = std::time::Instant::now();
-    let results = sweep(&args.workloads, &args.mechanisms, args.seed, args.scale);
+    let opts = SweepOptions::new(args.seed, args.scale);
+    let outcomes = try_sweep(&args.workloads, &args.mechanisms, &opts);
     eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
+    let results: Vec<SweepResult> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            CellOutcome::Ok { key, metrics } => Some(SweepResult {
+                workload: key.workload,
+                mechanism: key.mechanism,
+                metrics: metrics.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    let quarantine = render_quarantine(&outcomes);
+    // A degraded sweep leaves holes in the grid: keep the figures (which
+    // index cells by workload x mechanism) to fully-populated workloads and
+    // name the missing cells in a final section instead of aborting.
+    let mut workloads = args.workloads.clone();
+    if quarantine.is_some() {
+        workloads.retain(|&w| {
+            args.mechanisms
+                .iter()
+                .all(|&m| puno_harness::sweep::find(&results, w, m).is_some())
+        });
+    }
     if let Some(cache) = puno_harness::global_cache() {
         let s = cache.stats();
         eprintln!(
             "result cache: {} hits, {} misses, {} stored ({} entries)",
             s.hits, s.misses, s.stores, s.entries
         );
+        if s.corrupt_skipped > 0 || s.stale_skipped > 0 {
+            eprintln!(
+                "result cache recovered: {} corrupt, {} stale record(s) skipped at open",
+                s.corrupt_skipped, s.stale_skipped
+            );
+        }
     }
 
     if args.mechanisms.contains(&Mechanism::Baseline) {
         println!("== Table I check (baseline abort rates) ==");
         for row in table1_rows() {
-            if !args.workloads.contains(&row.workload) {
+            if !workloads.contains(&row.workload) {
                 continue;
             }
             let m = puno_harness::sweep::find_expect(&results, row.workload, Mechanism::Baseline);
@@ -207,7 +237,7 @@ fn main() {
             );
         }
         println!("\n== Figure 2: false-aborting fraction of TxGETX (baseline) ==");
-        for &w in &args.workloads {
+        for &w in &workloads {
             let m = puno_harness::sweep::find_expect(&results, w, Mechanism::Baseline);
             println!(
                 "{:<10} {:>5.1}%  (victims/episode mean {:.2})",
@@ -227,9 +257,13 @@ fn main() {
             FigureMetric::ExecutionTime,
             FigureMetric::GdRatio,
         ] {
-            let fig = NormalizedFigure::build(metric, &results, &args.workloads, &args.mechanisms);
+            let fig = NormalizedFigure::build(metric, &results, &workloads, &args.mechanisms);
             println!("\n{}", fig.render());
         }
     }
     println!("{}", render_host_perf(&results));
+    if let Some(section) = quarantine {
+        print!("\n{section}");
+        std::process::exit(1);
+    }
 }

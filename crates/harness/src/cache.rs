@@ -47,10 +47,93 @@ pub fn cell_digest(config: &SystemConfig, params: &WorkloadParams, seed: u64) ->
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CacheRecord {
     pub digest: u64,
+    /// Engine version the record was produced under; records from another
+    /// version never serve lookups (their digests differ anyway) and are
+    /// dropped by [`ResultCache::compact`].
+    pub engine_version: u32,
     pub workload: String,
     pub mechanism: String,
     pub seed: u64,
     pub metrics: RunMetrics,
+    /// FNV-1a checksum over the record content (see [`record_checksum`]),
+    /// verified on load: a record corrupted anywhere in the file — not just
+    /// a torn trailing line — is skipped and counted instead of replayed.
+    pub checksum: u64,
+}
+
+impl CacheRecord {
+    fn build(digest: u64, seed: u64, metrics: &RunMetrics) -> Self {
+        let metrics_json =
+            serde_json::to_string(metrics).expect("cache record metrics must serialize");
+        let checksum = record_checksum(
+            digest,
+            ENGINE_VERSION,
+            &metrics.workload,
+            &metrics.mechanism,
+            seed,
+            &metrics_json,
+        );
+        Self {
+            digest,
+            engine_version: ENGINE_VERSION,
+            workload: metrics.workload.clone(),
+            mechanism: metrics.mechanism.clone(),
+            seed,
+            metrics: metrics.clone(),
+            checksum,
+        }
+    }
+
+    fn checksum_valid(&self) -> bool {
+        let metrics_json = match serde_json::to_string(&self.metrics) {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        self.checksum
+            == record_checksum(
+                self.digest,
+                self.engine_version,
+                &self.workload,
+                &self.mechanism,
+                self.seed,
+                &metrics_json,
+            )
+    }
+}
+
+/// Content checksum of one cache record: FNV-1a over every identity field
+/// plus the canonical JSON of the metrics payload.
+fn record_checksum(
+    digest: u64,
+    engine_version: u32,
+    workload: &str,
+    mechanism: &str,
+    seed: u64,
+    metrics_json: &str,
+) -> u64 {
+    fnv1a_64(
+        format!("cache|{digest}|v{engine_version}|{workload}|{mechanism}|{seed}|{metrics_json}")
+            .as_bytes(),
+    )
+}
+
+/// How one persisted line classified on load. Transient (one live value
+/// at a time on the load path), so the large `Valid` payload is not worth
+/// boxing — and the serde shim has no `Box` impl anyway.
+#[allow(clippy::large_enum_variant)]
+enum LineClass {
+    Valid(CacheRecord),
+    Stale,
+    Corrupt,
+}
+
+fn classify_line(line: &str) -> LineClass {
+    match serde_json::from_str::<CacheRecord>(line) {
+        Ok(rec) if !rec.checksum_valid() => LineClass::Corrupt,
+        Ok(rec) if rec.engine_version != ENGINE_VERSION => LineClass::Stale,
+        Ok(rec) => LineClass::Valid(rec),
+        Err(_) => LineClass::Corrupt,
+    }
 }
 
 /// One persisted cost observation (one JSONL line in `costs.jsonl`).
@@ -72,6 +155,25 @@ pub struct CacheStats {
     pub misses: u64,
     pub stores: u64,
     pub entries: u64,
+    /// Records skipped at open because they failed to parse or their
+    /// content checksum did not verify (anywhere in the file).
+    pub corrupt_skipped: u64,
+    /// Records skipped at open because they were written by another
+    /// `ENGINE_VERSION`.
+    pub stale_skipped: u64,
+}
+
+/// What [`ResultCache::compact`] did to the persisted file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Live records written back.
+    pub kept: u64,
+    /// Lines dropped because they failed to parse or verify.
+    pub dropped_corrupt: u64,
+    /// Records dropped because of an `ENGINE_VERSION` mismatch.
+    pub dropped_stale: u64,
+    /// Superseded duplicates collapsed by last-wins dedup.
+    pub dropped_duplicate: u64,
 }
 
 /// Append-only persistent store of fault-free run results, keyed by
@@ -87,6 +189,8 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    corrupt_skipped: u64,
+    stale_skipped: u64,
 }
 
 impl ResultCache {
@@ -98,15 +202,25 @@ impl ResultCache {
         self.dir.join("costs.jsonl")
     }
 
-    /// Open (creating if needed) the cache rooted at `dir`.
+    /// Open (creating if needed) the cache rooted at `dir`. Corrupt lines
+    /// (unparsable, or parsable with a failed content checksum) anywhere in
+    /// the file — torn trailing appends, bit flips mid-file — are skipped
+    /// and counted, never served; records from another `ENGINE_VERSION`
+    /// likewise. [`ResultCache::compact`] rewrites the file without them.
     pub fn open(dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = Self::results_path(dir);
         let mut entries = HashMap::new();
+        let mut corrupt_skipped = 0u64;
+        let mut stale_skipped = 0u64;
         if let Ok(text) = std::fs::read_to_string(&path) {
             for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                if let Ok(rec) = serde_json::from_str::<CacheRecord>(line) {
-                    entries.insert(rec.digest, rec.metrics);
+                match classify_line(line) {
+                    LineClass::Valid(rec) => {
+                        entries.insert(rec.digest, rec.metrics);
+                    }
+                    LineClass::Stale => stale_skipped += 1,
+                    LineClass::Corrupt => corrupt_skipped += 1,
                 }
             }
         }
@@ -121,12 +235,26 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            corrupt_skipped,
+            stale_skipped,
         })
+    }
+
+    /// Poisoning-tolerant lock access: a worker that panicked mid-`store`
+    /// cannot corrupt the map (every mutation is a single `insert` after
+    /// the serialization work), so the poison flag is noise — recover the
+    /// guard instead of cascading the panic into every later caller.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<u64, RunMetrics>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_file(&self) -> std::sync::MutexGuard<'_, std::fs::File> {
+        self.file.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Look a cell up by digest; counts a hit or a miss.
     pub fn lookup(&self, digest: u64) -> Option<RunMetrics> {
-        let found = self.entries.lock().unwrap().get(&digest).cloned();
+        let found = self.lock_entries().get(&digest).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -139,21 +267,15 @@ impl ResultCache {
     /// file).
     pub fn store(&self, digest: u64, seed: u64, metrics: &RunMetrics) {
         {
-            let mut entries = self.entries.lock().unwrap();
+            let mut entries = self.lock_entries();
             if entries.contains_key(&digest) {
                 return;
             }
             entries.insert(digest, metrics.clone());
         }
-        let rec = CacheRecord {
-            digest,
-            workload: metrics.workload.clone(),
-            mechanism: metrics.mechanism.clone(),
-            seed,
-            metrics: metrics.clone(),
-        };
+        let rec = CacheRecord::build(digest, seed, metrics);
         let line = serde_json::to_string(&rec).expect("cache record must serialize");
-        let mut f = self.file.lock().unwrap();
+        let mut f = self.lock_file();
         let _ = writeln!(f, "{line}");
         let _ = f.flush();
         self.stores.fetch_add(1, Ordering::Relaxed);
@@ -164,8 +286,66 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap().len() as u64,
+            entries: self.lock_entries().len() as u64,
+            corrupt_skipped: self.corrupt_skipped,
+            stale_skipped: self.stale_skipped,
         }
+    }
+
+    /// Rewrite `results.jsonl` keeping only current-engine, checksum-valid
+    /// records (last-wins deduped), dropping corrupt and stale lines for
+    /// good. The rewrite goes through a temp file and an atomic rename, the
+    /// append handle is re-pointed at the new file, and the in-memory map
+    /// is refreshed from what was kept — so a compact mid-process never
+    /// loses a record another thread just stored (both locks are held
+    /// across the swap).
+    pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let mut entries = self.lock_entries();
+        let mut file = self.lock_file();
+        let path = Self::results_path(&self.dir);
+        let mut stats = CompactStats::default();
+        // Last-wins over the persisted lines, preserving first-seen order
+        // so a compacted file is deterministic for a given input.
+        let mut kept: Vec<CacheRecord> = Vec::new();
+        let mut index_of: HashMap<u64, usize> = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                match classify_line(line) {
+                    LineClass::Valid(rec) => match index_of.get(&rec.digest) {
+                        Some(&i) => {
+                            stats.dropped_duplicate += 1;
+                            kept[i] = rec;
+                        }
+                        None => {
+                            index_of.insert(rec.digest, kept.len());
+                            kept.push(rec);
+                        }
+                    },
+                    LineClass::Stale => stats.dropped_stale += 1,
+                    LineClass::Corrupt => stats.dropped_corrupt += 1,
+                }
+            }
+        }
+        stats.kept = kept.len() as u64;
+        let tmp = self.dir.join("results.jsonl.tmp");
+        {
+            let mut out = std::fs::File::create(&tmp)?;
+            for rec in &kept {
+                let line = serde_json::to_string(rec).expect("cache record must serialize");
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        *file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        entries.clear();
+        for rec in kept {
+            entries.insert(rec.digest, rec.metrics);
+        }
+        Ok(stats)
     }
 
     /// Fold the persisted cost observations into a [`CostModel`].
@@ -209,7 +389,10 @@ impl ResultCache {
 
 /// The process-wide cache configured by the `PUNO_RESULT_CACHE` environment
 /// variable (a directory path; unset, empty, `0`, or `off` disables it).
-/// Resolved once per process: scripts set the variable before launch.
+/// Resolved once per process: scripts set the variable before launch. With
+/// `PUNO_RESULT_CACHE_COMPACT` additionally set (non-empty, not `0`/`off`),
+/// the persisted file is compacted at open — corrupt, stale-version, and
+/// superseded records are rewritten away (summary on stderr).
 pub fn global_cache() -> Option<Arc<ResultCache>> {
     static CACHE: OnceLock<Option<Arc<ResultCache>>> = OnceLock::new();
     CACHE
@@ -220,7 +403,21 @@ pub fn global_cache() -> Option<Arc<ResultCache>> {
                 return None;
             }
             match ResultCache::open(Path::new(dir)) {
-                Ok(cache) => Some(Arc::new(cache)),
+                Ok(cache) => {
+                    if env_flag("PUNO_RESULT_CACHE_COMPACT") {
+                        match cache.compact() {
+                            Ok(c) => eprintln!(
+                                "result cache compacted: {} kept, {} corrupt, {} stale, \
+                                 {} duplicate dropped",
+                                c.kept, c.dropped_corrupt, c.dropped_stale, c.dropped_duplicate
+                            ),
+                            Err(e) => {
+                                eprintln!("warning: result cache compaction failed: {e}")
+                            }
+                        }
+                    }
+                    Some(Arc::new(cache))
+                }
                 Err(e) => {
                     eprintln!("warning: PUNO_RESULT_CACHE={dir} unusable ({e}); caching disabled");
                     None
@@ -228,6 +425,17 @@ pub fn global_cache() -> Option<Arc<ResultCache>> {
             }
         })
         .clone()
+}
+
+/// Truthy-env helper: set, non-empty, and not `0`/`off`.
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("off")
+        }
+        Err(_) => false,
+    }
 }
 
 /// Per-(workload, mechanism) cost estimator for sweep job ordering. Learned
@@ -412,6 +620,146 @@ mod tests {
         let cache = ResultCache::open(&dir).unwrap();
         assert_eq!(cache.stats().entries, 1);
         assert!(cache.lookup(digest).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_skipped_counted_and_compacted_away() {
+        let dir = temp_dir("midfile");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let m1 = run_workload(Mechanism::Baseline, &params, 9);
+        let m2 = run_workload(Mechanism::Baseline, &params, 10);
+        let d1 = cell_digest(&config, &params, 9);
+        let d2 = cell_digest(&config, &params, 10);
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.store(d1, 9, &m1);
+            cache.store(d2, 10, &m2);
+        }
+        // Corrupt the FIRST record in place: the tampered line still parses
+        // as JSON, so only the content checksum can catch it.
+        let path = ResultCache::results_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 2);
+        let tampered = lines[0].replace("\"seed\":9", "\"seed\":8");
+        assert_ne!(tampered, lines[0], "tamper site must exist");
+        lines[0] = tampered;
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.corrupt_skipped, 1, "mid-file corruption must count");
+        assert_eq!(stats.entries, 1);
+        assert!(
+            cache.lookup(d1).is_none(),
+            "a checksum-failed record must never be served"
+        );
+        assert!(cache.lookup(d2).is_some(), "the healthy record survives");
+
+        // Compaction drops the corrupt line for good.
+        let c = cache.compact().unwrap();
+        assert_eq!(c.kept, 1);
+        assert_eq!(c.dropped_corrupt, 1);
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.stats().corrupt_skipped, 0);
+        assert_eq!(reopened.stats().entries, 1);
+        assert!(reopened.lookup(d2).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_engine_version_records_are_skipped_and_compacted_away() {
+        let dir = temp_dir("stale");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.store(digest, 9, &metrics);
+        }
+        // Craft a record from a future engine version with a checksum that
+        // verifies for its own content: it must be skipped as stale, not
+        // corrupt (and never served).
+        let mut rec = CacheRecord::build(0xDEAD, 9, &metrics);
+        rec.engine_version = ENGINE_VERSION + 1;
+        rec.checksum = record_checksum(
+            rec.digest,
+            rec.engine_version,
+            &rec.workload,
+            &rec.mechanism,
+            rec.seed,
+            &serde_json::to_string(&rec.metrics).unwrap(),
+        );
+        let path = ResultCache::results_path(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&serde_json::to_string(&rec).unwrap());
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.stale_skipped, 1);
+        assert_eq!(stats.corrupt_skipped, 0);
+        assert!(cache.lookup(0xDEAD).is_none());
+        let c = cache.compact().unwrap();
+        assert_eq!(c.dropped_stale, 1);
+        assert_eq!(c.kept, 1);
+        assert_eq!(ResultCache::open(&dir).unwrap().stats().stale_skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_preserves_hits() {
+        let dir = temp_dir("compact-idem");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(digest, 9, &metrics);
+        let first = cache.compact().unwrap();
+        assert_eq!(first.kept, 1);
+        let again = cache.compact().unwrap();
+        assert_eq!(again, first, "re-compacting a clean file changes nothing");
+        // The same handle still serves (in-memory map refreshed) and the
+        // re-pointed append handle still stores.
+        assert!(cache.lookup(digest).is_some());
+        let m2 = run_workload(Mechanism::Baseline, &params, 11);
+        cache.store(cell_digest(&config, &params, 11), 11, &m2);
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.stats().entries, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let dir = temp_dir("poison");
+        let params = WorkloadId::Ssca2.params().scaled(0.05);
+        let config = SystemConfig::paper(Mechanism::Baseline);
+        let metrics = run_workload(Mechanism::Baseline, &params, 9);
+        let digest = cell_digest(&config, &params, 9);
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store(digest, 9, &metrics);
+        // Poison both mutexes the way a panicking worker would.
+        for _ in 0..2 {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _entries = cache.entries.lock().unwrap();
+                let _file = cache.file.lock();
+                panic!("worker died holding the cache locks");
+            }));
+        }
+        assert!(cache.entries.is_poisoned(), "test must actually poison");
+        // Lookups, stores, stats, and compaction all still function.
+        assert!(cache.lookup(digest).is_some());
+        let m2 = run_workload(Mechanism::Baseline, &params, 12);
+        let d2 = cell_digest(&config, &params, 12);
+        cache.store(d2, 12, &m2);
+        assert!(cache.lookup(d2).is_some());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.compact().unwrap().kept, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -32,6 +32,6 @@ pub use memory::MemoryImage;
 pub use metrics::{HostPerf, RunMetrics};
 pub use oracle::FalseAbortOracle;
 pub use run::{run_workload, run_workload_with_faults, try_run_workload};
-pub use sweep::{sweep, SweepResult};
-pub use system::System;
+pub use sweep::{sweep, RetryPolicy, SweepResult};
+pub use system::{System, SystemSnapshot};
 pub use telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};

@@ -60,7 +60,7 @@ struct CurTx {
 }
 
 /// The single outstanding miss.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Mshr {
     pub addr: LineAddr,
     /// The request was a GETX (write, upgrade, or RMW-predicted load).
@@ -98,6 +98,7 @@ pub enum Phase {
     Done,
 }
 
+#[derive(Clone)]
 pub struct NodeState {
     pub id: NodeId,
     pub l1: L1Cache,

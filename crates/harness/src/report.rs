@@ -256,6 +256,54 @@ pub fn render_host_perf(results: &[SweepResult]) -> String {
     out
 }
 
+/// Render the degraded-sweep section: one line per cell the sweep could
+/// not complete — quarantined cells (exhausted retry budget) first, plain
+/// failures after — with the failure kind and attempts consumed. `None`
+/// when every cell succeeded, so healthy reports are byte-identical to a
+/// sweep without the resilience layer.
+pub fn render_quarantine(outcomes: &[crate::sweep::CellOutcome]) -> Option<String> {
+    use crate::sweep::CellOutcome;
+    let mut lines: Vec<String> = Vec::new();
+    for pass in [true, false] {
+        for o in outcomes {
+            let quarantined = o.is_quarantined();
+            if o.is_ok() || quarantined != pass {
+                continue;
+            }
+            let (key, error, attempts) = match o {
+                CellOutcome::Quarantined {
+                    key,
+                    error,
+                    attempts,
+                }
+                | CellOutcome::Err {
+                    key,
+                    error,
+                    attempts,
+                } => (key, error, attempts),
+                CellOutcome::Ok { .. } => unreachable!("filtered above"),
+            };
+            lines.push(format!(
+                "  {:<12}{:<10} seed {:<6} {:<12} after {} attempt(s){}",
+                key.workload.name(),
+                key.mechanism.name(),
+                key.seed,
+                error.kind(),
+                attempts,
+                if quarantined { "  [quarantined]" } else { "" },
+            ));
+        }
+    }
+    if lines.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str("== Quarantined / failed cells (sweep completed degraded) ==\n");
+    out.push_str(&lines.join("\n"));
+    out.push('\n');
+    Some(out)
+}
+
 /// Geometric mean of positive values (empty -> 1.0).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -393,5 +441,65 @@ mod tests {
         assert!(text.contains("bayes"));
         assert!(text.contains("puno"));
         assert!(text.contains("geomean-all"));
+    }
+
+    #[test]
+    fn quarantine_section_names_only_the_degraded_cells() {
+        use crate::error::RunError;
+        use crate::sweep::{CellKey, CellOutcome};
+
+        let ok = CellOutcome::Ok {
+            key: CellKey {
+                workload: WorkloadId::Bayes,
+                mechanism: Mechanism::Baseline,
+                seed: 1,
+            },
+            metrics: fake(WorkloadId::Bayes, Mechanism::Baseline, 1, 10).metrics,
+        };
+        assert!(render_quarantine(std::slice::from_ref(&ok)).is_none());
+
+        let quarantined = CellOutcome::Quarantined {
+            key: CellKey {
+                workload: WorkloadId::Vacation,
+                mechanism: Mechanism::Puno,
+                seed: 7,
+            },
+            error: RunError::Livelock {
+                workload: "vacation".into(),
+                seed: 7,
+                cycles: 99,
+                commit_window: 0,
+                wait_for: String::new(),
+                trace: String::new(),
+            },
+            attempts: 3,
+        };
+        let failed = CellOutcome::Err {
+            key: CellKey {
+                workload: WorkloadId::Bayes,
+                mechanism: Mechanism::RandomBackoff,
+                seed: 2,
+            },
+            error: RunError::WorkerPanic {
+                payload: "boom".into(),
+            },
+            attempts: 1,
+        };
+        let text = render_quarantine(&[failed, ok, quarantined]).expect("degraded section");
+        assert!(text.contains("sweep completed degraded"), "{text}");
+        assert!(text.contains("vacation"), "{text}");
+        assert!(text.contains("livelock"), "{text}");
+        assert!(text.contains("[quarantined]"), "{text}");
+        assert!(
+            text.contains("worker-panic") || text.contains("panic"),
+            "{text}"
+        );
+        // Quarantined cells are listed before plain failures.
+        let q_at = text.find("vacation").unwrap();
+        let e_at = text.find("bayes").unwrap();
+        assert!(q_at < e_at, "{text}");
+        // The healthy cell never appears as a row: `bayes` occurs only for
+        // the failed Eager cell.
+        assert_eq!(text.matches("bayes").count(), 1, "{text}");
     }
 }

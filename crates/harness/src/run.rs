@@ -45,6 +45,27 @@ fn install_env_tracer(sys: &mut System, params: &WorkloadParams, seed: u64) {
     if let Some(tracer) = env_tracer(&params.name, sys.mechanism().name(), seed) {
         sys.install_tracer(tracer);
     }
+    arm_env_snapshots(sys);
+}
+
+/// Parse `PUNO_SNAPSHOT_EVERY`: the cycle interval between periodic ring
+/// snapshots (see [`System::set_snapshot_every`]). `None` when unset or
+/// unparsable; an explicit `Some(0)` means off (and overrides any
+/// auto-arming, e.g. on traced sweep retries).
+pub fn env_snapshot_every() -> Option<u64> {
+    std::env::var("PUNO_SNAPSHOT_EVERY")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
+/// Arm the snapshot ring on a freshly built system when
+/// `PUNO_SNAPSHOT_EVERY` asks for it.
+fn arm_env_snapshots(sys: &mut System) {
+    if let Some(every) = env_snapshot_every() {
+        if every > 0 {
+            sys.set_snapshot_every(every);
+        }
+    }
 }
 
 /// Run `params` under `mechanism` on the paper's Table II system.

@@ -51,10 +51,22 @@ pub enum CellOutcome {
         key: CellKey,
         metrics: RunMetrics,
     },
+    /// The cell failed and the sweep ran without a retry budget.
     Err {
         key: CellKey,
         error: RunError,
         /// Total attempts made (1 + retries actually used).
+        attempts: u32,
+    },
+    /// The cell exhausted an escalating [`RetryPolicy`] — every attempt
+    /// including the traced, snapshot-armed final one failed — and was
+    /// quarantined: the sweep completed degraded around it. `error` is the
+    /// final attempt's failure (with its rewind-and-dump trace when the
+    /// snapshot ring engaged). On checkpoint resume, quarantined cells are
+    /// re-attempted like failed ones.
+    Quarantined {
+        key: CellKey,
+        error: RunError,
         attempts: u32,
     },
 }
@@ -62,7 +74,9 @@ pub enum CellOutcome {
 impl CellOutcome {
     pub fn key(&self) -> CellKey {
         match self {
-            CellOutcome::Ok { key, .. } | CellOutcome::Err { key, .. } => *key,
+            CellOutcome::Ok { key, .. }
+            | CellOutcome::Err { key, .. }
+            | CellOutcome::Quarantined { key, .. } => *key,
         }
     }
 
@@ -70,18 +84,104 @@ impl CellOutcome {
         matches!(self, CellOutcome::Ok { .. })
     }
 
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, CellOutcome::Quarantined { .. })
+    }
+
     pub fn metrics(&self) -> Option<&RunMetrics> {
         match self {
             CellOutcome::Ok { metrics, .. } => Some(metrics),
-            CellOutcome::Err { .. } => None,
+            CellOutcome::Err { .. } | CellOutcome::Quarantined { .. } => None,
         }
     }
 
     pub fn error(&self) -> Option<&RunError> {
         match self {
             CellOutcome::Ok { .. } => None,
-            CellOutcome::Err { error, .. } => Some(error),
+            CellOutcome::Err { error, .. } | CellOutcome::Quarantined { error, .. } => Some(error),
         }
+    }
+
+    /// Attempts consumed (None for successful cells).
+    pub fn attempts(&self) -> Option<u32> {
+        match self {
+            CellOutcome::Ok { .. } => None,
+            CellOutcome::Err { attempts, .. } | CellOutcome::Quarantined { attempts, .. } => {
+                Some(*attempts)
+            }
+        }
+    }
+}
+
+/// Escalating per-cell retry policy. The first attempt runs plain; every
+/// retry runs with the message trace ring enabled and (on the cell-runner
+/// path) the snapshot ring armed, so a persistent failure's final error
+/// carries a rewind-and-dump trace of the cycles leading into the stall.
+/// Between attempts the worker sleeps a multiplicative, seed-jittered
+/// host-side backoff (never visible to simulated behaviour). A cell that
+/// exhausts a multi-attempt budget is recorded as
+/// [`CellOutcome::Quarantined`] and the sweep completes degraded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per cell (clamped to >= 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Host-side backoff before the first retry, in milliseconds (0
+    /// disables sleeping — the default, so tests and CI stay fast).
+    pub backoff_base_ms: u64,
+    /// Backoff multiplier per further attempt.
+    pub backoff_multiplier: u32,
+}
+
+/// Ceiling on one backoff sleep regardless of attempt count.
+const RETRY_BACKOFF_CAP_MS: u64 = 5_000;
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl RetryPolicy {
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_base_ms: 0,
+            backoff_multiplier: 2,
+        }
+    }
+
+    /// Extra attempts after the first.
+    pub fn retries(&self) -> u32 {
+        self.max_attempts - 1
+    }
+
+    /// Policy from the `PUNO_RETRY_MAX` environment variable (maximum
+    /// total attempts per cell; unset or unparsable = 1, i.e. no retries).
+    pub fn from_env() -> Self {
+        let max = std::env::var("PUNO_RETRY_MAX")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .unwrap_or(1);
+        Self::new(max)
+    }
+
+    /// Host-side sleep before attempt `next_attempt` (2-based): the base
+    /// backoff multiplied per prior retry, scaled by a deterministic
+    /// ±25% jitter derived from the cell seed so workers retrying
+    /// simultaneously spread out, and capped.
+    fn backoff(&self, next_attempt: u32, seed: u64) -> std::time::Duration {
+        if self.backoff_base_ms == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let exp = next_attempt.saturating_sub(2).min(16);
+        let base = self
+            .backoff_base_ms
+            .saturating_mul((self.backoff_multiplier.max(1) as u64).saturating_pow(exp));
+        let jitter_src =
+            puno_workloads::fnv1a_64(format!("retry|{seed}|{next_attempt}").as_bytes());
+        // Scale into [0.75, 1.25) of the base.
+        let ms = (base.saturating_mul(768 + jitter_src % 512) / 1024).min(RETRY_BACKOFF_CAP_MS);
+        std::time::Duration::from_millis(ms)
     }
 }
 
@@ -95,13 +195,18 @@ pub struct SweepOptions {
     /// Fault plan installed in every cell (empty = fault-free and
     /// bit-identical to a plain sweep).
     pub fault_plan: FaultPlan,
-    /// Extra attempts after a failed cell. Retries re-run with the message
-    /// trace ring enabled, so a persistent failure's final error carries
-    /// the trace leading up to it.
-    pub retries: u32,
+    /// Escalating retry policy (attempt budget, seed-jittered backoff).
+    /// Retries re-run with the message trace ring enabled and the snapshot
+    /// ring armed, so a persistent failure's final error carries the
+    /// rewind-and-dump trace leading up to it; cells that exhaust a
+    /// multi-attempt budget are quarantined instead of failing the sweep.
+    /// [`SweepOptions::new`] honours the `PUNO_RETRY_MAX` env override.
+    pub retry: RetryPolicy,
     /// JSONL checkpoint path: finished cells are appended as they complete;
     /// an existing file's successful cells are skipped on resume (failed
-    /// cells are re-attempted).
+    /// and quarantined cells are re-attempted). [`SweepOptions::new`] takes
+    /// the path from `PUNO_SWEEP_CHECKPOINT`, so a killed `sweep_all` can
+    /// resume where it died.
     pub checkpoint: Option<PathBuf>,
     /// Persistent result cache (see [`crate::cache`]): fault-free cells
     /// whose digest is present replay the stored metrics instead of
@@ -118,8 +223,8 @@ impl SweepOptions {
             seed,
             scale,
             fault_plan: FaultPlan::none(),
-            retries: 0,
-            checkpoint: None,
+            retry: RetryPolicy::from_env(),
+            checkpoint: std::env::var_os("PUNO_SWEEP_CHECKPOINT").map(PathBuf::from),
             result_cache: global_cache(),
         }
     }
@@ -173,26 +278,41 @@ pub fn try_sweep(
             }
             let program_set = {
                 let key = (params_digest(params), seed);
-                let mut map = programs.lock().unwrap();
+                let mut map = programs.lock().unwrap_or_else(|e| e.into_inner());
                 map.entry(key)
                     .or_insert_with(|| Arc::new(ProgramSet::generate(params, config.nodes(), seed)))
                     .clone()
             };
-            let metrics = WORKER_SYSTEM.with(|slot| {
-                let mut slot = slot.borrow_mut();
-                match slot.as_mut() {
-                    Some(sys) => sys.reset(config, params, seed, &program_set),
-                    None => *slot = Some(System::new_shared(config, params, seed, &program_set)),
+            // Take the recycled System *out* of the worker's slot for the
+            // duration of the run: if the cell panics, the unwind drops the
+            // (possibly inconsistent) System instead of leaving it in the
+            // slot to poison the next cell — it is reinstalled only after
+            // the run returns normally (Ok or a structured RunError, after
+            // which `reset` fully reinitializes it).
+            let mut sys = WORKER_SYSTEM.with(|slot| slot.borrow_mut().take());
+            match sys.as_mut() {
+                Some(sys) => sys.reset(config, params, seed, &program_set),
+                None => sys = Some(System::new_shared(config, params, seed, &program_set)),
+            }
+            let mut sys = sys.expect("worker System just installed");
+            if traced {
+                sys.enable_trace(RETRY_TRACE_CAPACITY);
+                // Auto-arm the snapshot ring so a persistently failing
+                // cell's final error is a rewind-and-dump of the stalled
+                // window. `PUNO_SNAPSHOT_EVERY` overrides the interval
+                // (an explicit 0 keeps it off).
+                let every = crate::run::env_snapshot_every()
+                    .unwrap_or_else(|| (config.watchdog_window / 2).max(1));
+                if every > 0 {
+                    sys.set_snapshot_every(every);
                 }
-                let sys = slot.as_mut().expect("worker System just installed");
-                if traced {
-                    sys.enable_trace(RETRY_TRACE_CAPACITY);
-                }
-                if !opts.fault_plan.is_empty() {
-                    sys.set_fault_plan(opts.fault_plan.clone());
-                }
-                sys.try_run_recycled()
-            })?;
+            }
+            if !opts.fault_plan.is_empty() {
+                sys.set_fault_plan(opts.fault_plan.clone());
+            }
+            let result = sys.try_run_recycled();
+            WORKER_SYSTEM.with(|slot| *slot.borrow_mut() = Some(sys));
+            let metrics = result?;
             if cacheable {
                 if let Some(cache) = &cache {
                     cache.store(digest, seed, &metrics);
@@ -297,14 +417,16 @@ where
                 }
                 let i = jobs[j];
                 let (key, ref params) = cells[i];
-                let outcome = run_cell(&runner, key, params, opts.retries);
+                let outcome = run_cell(&runner, key, params, &opts.retry);
                 if let Some(file) = &checkpoint_file {
                     let line =
                         serde_json::to_string(&outcome).expect("sweep cell outcome must serialize");
-                    let mut f = file.lock().unwrap();
+                    let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
                     let _ = writeln!(f, "{line}");
                 }
-                done.lock().unwrap().push((i, outcome));
+                done.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((i, outcome));
             });
         }
     });
@@ -312,7 +434,7 @@ where
     // Feed observed wall-clocks back into the persisted cost model (only
     // cells that actually ran this sweep; resumed cells are skipped).
     let mut cost_records: Vec<CostRecord> = Vec::new();
-    for (i, outcome) in done.into_inner().unwrap() {
+    for (i, outcome) in done.into_inner().unwrap_or_else(|e| e.into_inner()) {
         if let CellOutcome::Ok { key, metrics } = &outcome {
             if metrics.host.wall_secs > 0.0 {
                 cost_records.push(CostRecord {
@@ -365,8 +487,16 @@ pub fn effective_workers(jobs: usize) -> usize {
     capped.min(jobs.max(1))
 }
 
-/// Run one cell with panic containment and bounded retries.
-fn run_cell<F>(runner: &F, key: CellKey, params: &WorkloadParams, retries: u32) -> CellOutcome
+/// Run one cell with panic containment under the escalating retry policy.
+/// A cell that exhausts a multi-attempt budget comes back
+/// [`CellOutcome::Quarantined`]; with no retry budget a failure stays a
+/// plain [`CellOutcome::Err`].
+fn run_cell<F>(
+    runner: &F,
+    key: CellKey,
+    params: &WorkloadParams,
+    policy: &RetryPolicy,
+) -> CellOutcome
 where
     F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
 {
@@ -384,12 +514,24 @@ where
                 payload: panic_payload_string(payload),
             },
         };
-        if attempts > retries {
-            return CellOutcome::Err {
-                key,
-                error,
-                attempts,
+        if attempts >= policy.max_attempts {
+            return if policy.max_attempts > 1 {
+                CellOutcome::Quarantined {
+                    key,
+                    error,
+                    attempts,
+                }
+            } else {
+                CellOutcome::Err {
+                    key,
+                    error,
+                    attempts,
+                }
             };
+        }
+        let delay = policy.backoff(attempts + 1, key.seed);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
     }
 }
@@ -432,7 +574,7 @@ pub fn sweep(
                 mechanism: key.mechanism,
                 metrics,
             },
-            CellOutcome::Err { key, error, .. } => {
+            CellOutcome::Err { key, error, .. } | CellOutcome::Quarantined { key, error, .. } => {
                 panic!(
                     "sweep cell {:?}/{:?} @ seed {} failed: {error}",
                     key.workload, key.mechanism, key.seed
@@ -543,7 +685,7 @@ mod tests {
         use std::sync::atomic::{AtomicU32, Ordering};
         let attempts = AtomicU32::new(0);
         let mut opts = SweepOptions::new(3, 0.05);
-        opts.retries = 1;
+        opts.retry = RetryPolicy::new(2);
         let outcomes = try_sweep_with(
             &[WorkloadId::Ssca2],
             &[Mechanism::Baseline],
@@ -569,7 +711,7 @@ mod tests {
         let workloads = [WorkloadId::Ssca2, WorkloadId::Kmeans];
         let mechanisms = [Mechanism::Baseline];
         let mut opts = SweepOptions::new(5, 0.05);
-        opts.retries = 1;
+        opts.retry = RetryPolicy::new(2);
         let outcomes = try_sweep_with(&workloads, &mechanisms, &opts, |m, params, seed, traced| {
             let mut config = SystemConfig::paper(m);
             if params.name.contains("kmeans") {
@@ -589,10 +731,11 @@ mod tests {
             !err.trace().is_empty(),
             "the traced retry must capture the message trace"
         );
-        match outcomes[1] {
-            CellOutcome::Err { attempts, .. } => assert_eq!(attempts, 2),
-            _ => unreachable!(),
-        }
+        assert!(
+            outcomes[1].is_quarantined(),
+            "an exhausted retry budget must quarantine the cell"
+        );
+        assert_eq!(outcomes[1].attempts(), Some(2));
     }
 
     /// Interrupted sweep: first pass checkpoints one success and one

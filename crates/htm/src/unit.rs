@@ -36,7 +36,7 @@ impl Default for AbortTiming {
 }
 
 /// State of one transaction attempt.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TxContext {
     pub tx: TxId,
     pub static_tx: StaticTxId,
@@ -64,7 +64,7 @@ pub struct TxContext {
 /// Per-attempt structures recycled across begin/commit/abort so a retry
 /// storm reuses the same allocations instead of re-growing sets, logs and
 /// signature bit vectors on every attempt.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TxScratch {
     sets: ReadWriteSets,
     undo: UndoLog,
@@ -127,6 +127,7 @@ pub struct CommitOutcome {
 }
 
 /// Per-node HTM unit.
+#[derive(Clone)]
 pub struct HtmUnit {
     node: NodeId,
     abort_timing: AbortTiming,

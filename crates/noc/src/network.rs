@@ -27,6 +27,7 @@ impl Default for NocConfig {
     }
 }
 
+#[derive(Clone)]
 struct PendingDelivery<P> {
     due: Cycle,
     node: NodeId,
@@ -34,6 +35,7 @@ struct PendingDelivery<P> {
 }
 
 /// The on-chip network. Payload type `P` is opaque freight.
+#[derive(Clone)]
 pub struct Network<P> {
     mesh: Mesh,
     config: NocConfig,

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 /// A packet waiting in an input buffer, annotated with the cycle at which it
 /// has cleared the router pipeline and may compete for the switch.
+#[derive(Clone)]
 pub(crate) struct BufferedPacket<P> {
     pub ready_at: Cycle,
     pub packet: Packet<P>,
@@ -22,6 +23,7 @@ pub(crate) struct BufferedPacket<P> {
 
 /// One input unit: a FIFO per (input port, virtual network), with occupancy
 /// accounted in flits against a fixed capacity.
+#[derive(Clone)]
 pub(crate) struct InputBuffer<P> {
     pub queue: VecDeque<BufferedPacket<P>>,
     pub occupied_flits: u32,
@@ -41,6 +43,7 @@ impl<P> InputBuffer<P> {
 }
 
 /// Router state. Ports: 0 = Local (injection/ejection), 1..=4 = E/W/N/S.
+#[derive(Clone)]
 pub(crate) struct Router<P> {
     /// `inputs[port][vnet]`
     pub inputs: Vec<Vec<InputBuffer<P>>>,

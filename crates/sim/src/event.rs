@@ -30,6 +30,7 @@ use std::collections::{BinaryHeap, VecDeque};
 /// the occupancy bitmask fits one machine word.
 const BUCKETS: u64 = 64;
 
+#[derive(Clone)]
 struct Entry<E> {
     cycle: Cycle,
     seq: u64,
@@ -57,6 +58,7 @@ impl<E> Ord for Entry<E> {
 }
 
 /// Priority queue of simulation events with deterministic tie-breaking.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Far-future events (cycle >= insertion-time `now + BUCKETS`).
     heap: BinaryHeap<Entry<E>>,

@@ -25,7 +25,8 @@ echo "== result-cache smoke (4-cell sweep twice; warm pass must replay byte-for-
 # four cells from the cache and produce byte-identical stdout (cached
 # replay carries the cold run's metrics verbatim, host counters included).
 CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+RES_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$RES_DIR"' EXIT
 PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
     cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
     > "$CACHE_DIR/cold.txt" 2> "$CACHE_DIR/cold.err"
@@ -37,6 +38,75 @@ diff "$CACHE_DIR/cold.txt" "$CACHE_DIR/warm.txt" \
 grep -q "result cache: 4 hits, 0 misses" "$CACHE_DIR/warm.err" \
     || { echo "warm pass did not hit the cache:"; cat "$CACHE_DIR/warm.err"; exit 1; }
 echo "cache smoke OK (4/4 warm hits, byte-identical output)"
+
+echo "== resilience smoke (corrupt cache record: skip-and-count, then compact) =="
+# Tamper with a field inside the FIRST persisted record: the JSON still
+# parses but its content checksum no longer verifies, so the next open
+# must skip exactly that record (re-simulating its cell) instead of
+# replaying corrupt metrics — and the sweep output must stay identical.
+RESULTS_JSONL="$CACHE_DIR/results.jsonl"
+[ -s "$RESULTS_JSONL" ] || { echo "cache smoke left no results.jsonl"; exit 1; }
+sed -i '1s/"seed":1/"seed":9/' "$RESULTS_JSONL"
+grep -q '"seed":9' "$RESULTS_JSONL" || { echo "failed to corrupt a cache record"; exit 1; }
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
+    > "$CACHE_DIR/corrupt.txt" 2> "$CACHE_DIR/corrupt.err"
+# The skipped cell re-simulates, so its host wall-clock row is honestly
+# fresh; everything deterministic must still match the cold run.
+sed '/^simulator throughput/,$d' "$CACHE_DIR/cold.txt" > "$CACHE_DIR/cold.det.txt"
+sed '/^simulator throughput/,$d' "$CACHE_DIR/corrupt.txt" > "$CACHE_DIR/corrupt.det.txt"
+diff "$CACHE_DIR/cold.det.txt" "$CACHE_DIR/corrupt.det.txt" \
+    || { echo "sweep output changed after cache corruption"; exit 1; }
+grep -q "result cache recovered: 1 corrupt, 0 stale" "$CACHE_DIR/corrupt.err" \
+    || { echo "corrupt record was not skip-and-counted:"; cat "$CACHE_DIR/corrupt.err"; exit 1; }
+grep -q "result cache: 3 hits, 1 misses" "$CACHE_DIR/corrupt.err" \
+    || { echo "corrupted cell was not re-simulated:"; cat "$CACHE_DIR/corrupt.err"; exit 1; }
+# A compacting open must rewrite the file without the corrupt line; the
+# following warm pass then serves every cell with nothing left to skip.
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_RESULT_CACHE_COMPACT=1 \
+    PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
+    > "$CACHE_DIR/compact.txt" 2> "$CACHE_DIR/compact.err"
+sed '/^simulator throughput/,$d' "$CACHE_DIR/compact.txt" > "$CACHE_DIR/compact.det.txt"
+diff "$CACHE_DIR/cold.det.txt" "$CACHE_DIR/compact.det.txt" \
+    || { echo "sweep output changed after compaction"; exit 1; }
+grep -q "result cache compacted: 4 kept, 1 corrupt, 0 stale" "$CACHE_DIR/compact.err" \
+    || { echo "compaction did not drop the corrupt record:"; cat "$CACHE_DIR/compact.err"; exit 1; }
+grep -q "result cache: 4 hits, 0 misses" "$CACHE_DIR/compact.err" \
+    || { echo "compacted cache missed a warm cell:"; cat "$CACHE_DIR/compact.err"; exit 1; }
+# A final plain pass proves the compacted file is clean: every cell warm,
+# nothing left to skip at open.
+PUNO_RESULT_CACHE="$CACHE_DIR" PUNO_SWEEP_THREADS="${PUNO_SWEEP_THREADS:-4}" \
+    cargo run --offline --release -q -p puno-harness --bin sweep_all -- 0.05 1 --filter ssca2 \
+    > /dev/null 2> "$CACHE_DIR/clean.err"
+grep -q "result cache: 4 hits, 0 misses" "$CACHE_DIR/clean.err" \
+    || { echo "post-compaction cache missed a warm cell:"; cat "$CACHE_DIR/clean.err"; exit 1; }
+! grep -q "result cache recovered" "$CACHE_DIR/clean.err" \
+    || { echo "compacted file still held skippable records"; exit 1; }
+echo "corruption smoke OK (1 record skipped, re-simulated, compacted away)"
+
+echo "== resilience smoke (mid-flight kill + checkpoint resume) =="
+# Kill a checkpointed sweep partway, then resume from the checkpoint: the
+# resumed run replays completed cells from the JSONL file (including a
+# torn final append, if the kill landed mid-write) and must produce the
+# same deterministic aggregate output as an uninterrupted sweep. The
+# host-perf section is stripped from the diff — wall-clock readings are
+# the one part of the report that is honestly not reproducible.
+cargo build --offline --release -q -p puno-harness --bin sweep_all
+SWEEP_BIN="target/release/sweep_all"
+PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/ref.txt" 2> /dev/null
+timeout -s KILL 0.3 env PUNO_SWEEP_CHECKPOINT="$RES_DIR/ckpt.jsonl" PUNO_SWEEP_THREADS=4 \
+    "$SWEEP_BIN" 0.05 1 > /dev/null 2>&1 || true
+PUNO_SWEEP_CHECKPOINT="$RES_DIR/ckpt.jsonl" PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/resumed.txt" 2> /dev/null
+sed '/^simulator throughput/,$d' "$RES_DIR/ref.txt" > "$RES_DIR/ref.det.txt"
+sed '/^simulator throughput/,$d' "$RES_DIR/resumed.txt" > "$RES_DIR/resumed.det.txt"
+grep -q "Table I check" "$RES_DIR/ref.det.txt" || { echo "reference sweep printed no report"; exit 1; }
+diff "$RES_DIR/ref.det.txt" "$RES_DIR/resumed.det.txt" \
+    || { echo "checkpoint-resumed sweep diverged from the uninterrupted run"; exit 1; }
+[ -s "$RES_DIR/ckpt.jsonl" ] || { echo "resumed sweep wrote no checkpoint"; exit 1; }
+echo "checkpoint smoke OK (resume matches uninterrupted aggregate output)"
 
 echo "== traced smoke (one cell, JSONL schema + Chrome export) =="
 # Re-run one sweep cell fully traced: every JSONL line must parse as a
