@@ -407,6 +407,27 @@ fn bench_system_throughput(h: &mut Harness) {
     }
 }
 
+/// Intra-run parallel executor scaling on the 8x8 mesh: the same 64-node
+/// cell run serially and with 4 pool workers (`System::set_run_threads` —
+/// the benchmark never touches `PUNO_RUN_THREADS`, which would leak into
+/// sibling benchmarks). Both variants produce bit-identical metrics (the
+/// `parallel_exec` test suite is the gate); what is measured here is pure
+/// host wall-clock, so the pair exposes the executor's speedup on
+/// multi-core hosts and its coordination overhead on single-core ones.
+fn bench_mesh8_scaling(h: &mut Harness) {
+    let params = WorkloadId::Ssca2.params().scaled(0.05);
+    for threads in [1usize, 4] {
+        let name = format!("system/mesh8/ssca2/run{threads}");
+        h.bench(&name, 12, || {
+            let config = SystemConfig::mesh8(Mechanism::Baseline);
+            let mut sys = puno_harness::System::new(config, &params, 1);
+            sys.set_run_threads(threads);
+            let m = sys.try_run_recycled().expect("mesh8 cell must complete");
+            black_box(m.cycles ^ m.committed)
+        });
+    }
+}
+
 /// Wall-clock of the thread-parallel sweep driver's cold path: shared
 /// program generation, recycled worker `System`s, and cost-aware job
 /// ordering, with the result cache explicitly disabled so the simulate
@@ -478,6 +499,7 @@ fn main() {
     bench_txlb(&mut h);
     bench_hot_state(&mut h);
     bench_system_throughput(&mut h);
+    bench_mesh8_scaling(&mut h);
     bench_sweep(&mut h);
     bench_tracing(&mut h);
 

@@ -1,12 +1,18 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
 //! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism>]
-//!                  [--trace <workload>:<mechanism>]
+//!                  [--trace <workload>:<mechanism>] [--mesh <4|8|16>]
 //!
 //! `--filter` restricts the grid: an argument matching a workload name
 //! (substring, case-insensitive) keeps only those workloads; one matching a
 //! mechanism name keeps only those mechanisms. With `PUNO_RESULT_CACHE`
 //! set, unchanged cells replay from the persistent cache (stats go to
 //! stderr; stdout stays byte-identical between a cold and a warm run).
+//!
+//! `--mesh 8` / `--mesh 16` runs the sweep on the Table II configuration
+//! scaled to an 8x8 (64-node) or 16x16 (256-node) mesh. The paper's
+//! Table I / figure expectations are calibrated against the 4x4 machine,
+//! so big-mesh runs print the raw per-cell summary and host-perf section
+//! only. Combine with `PUNO_RUN_THREADS` to parallelize the big cells.
 //!
 //! `--trace` re-runs exactly one cell with full tracing and telemetry
 //! instead of sweeping: the JSONL event stream goes to `PUNO_TRACE_OUT`
@@ -28,6 +34,18 @@ struct Args {
     workloads: Vec<WorkloadId>,
     mechanisms: Vec<Mechanism>,
     trace: Option<(WorkloadId, Mechanism)>,
+    /// Mesh edge length: 4 (the paper machine), 8, or 16.
+    mesh: u32,
+}
+
+impl Args {
+    fn config_fn(&self) -> fn(Mechanism) -> SystemConfig {
+        match self.mesh {
+            8 => SystemConfig::mesh8,
+            16 => SystemConfig::mesh16,
+            _ => SystemConfig::paper,
+        }
+    }
 }
 
 fn lookup_cell(spec: &str) -> Option<(WorkloadId, Mechanism)> {
@@ -47,9 +65,19 @@ fn parse_args() -> Args {
     let mut positional: Vec<String> = Vec::new();
     let mut filters: Vec<String> = Vec::new();
     let mut trace = None;
+    let mut mesh = 4u32;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        if arg == "--filter" {
+        if arg == "--mesh" {
+            let parsed = argv.next().and_then(|v| v.trim().parse::<u32>().ok());
+            match parsed {
+                Some(n @ (4 | 8 | 16)) => mesh = n,
+                _ => {
+                    eprintln!("--mesh requires 4, 8, or 16");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--filter" {
             let Some(value) = argv.next() else {
                 eprintln!("--filter requires a value (a workload or mechanism name)");
                 std::process::exit(2);
@@ -109,6 +137,7 @@ fn parse_args() -> Args {
         workloads,
         mechanisms,
         trace,
+        mesh,
     }
 }
 
@@ -116,7 +145,7 @@ fn parse_args() -> Args {
 /// the telemetry summary. Never consults the result cache.
 fn run_traced_cell(args: &Args, wl: WorkloadId, mech: Mechanism) {
     let params = wl.params().scaled(args.scale);
-    let mut sys = System::new(SystemConfig::paper(mech), &params, args.seed);
+    let mut sys = System::new(args.config_fn()(mech), &params, args.seed);
     let mask = match puno_sim::TraceConfig::from_env() {
         Ok(Some(cfg)) => cfg.mask,
         Ok(None) => puno_sim::ChannelMask::ALL,
@@ -176,7 +205,8 @@ fn main() {
         return;
     }
     let t0 = std::time::Instant::now();
-    let opts = SweepOptions::new(args.seed, args.scale);
+    let mut opts = SweepOptions::new(args.seed, args.scale);
+    opts.config = args.config_fn();
     let outcomes = try_sweep(&args.workloads, &args.mechanisms, &opts);
     eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
     let results: Vec<SweepResult> = outcomes
@@ -216,7 +246,29 @@ fn main() {
         }
     }
 
-    if args.mechanisms.contains(&Mechanism::Baseline) {
+    // Table I bands and the baseline-normalized figures are calibrated
+    // against the 4x4 paper machine; big-mesh sweeps print a raw per-cell
+    // summary instead.
+    if args.mesh != 4 {
+        println!(
+            "== {0}x{0} mesh sweep ({1} nodes, seed {2}, scale {3}) ==",
+            args.mesh,
+            args.mesh * args.mesh,
+            args.seed,
+            args.scale
+        );
+        for r in &results {
+            println!(
+                "{:<10} {:<9} cycles {:>9}  commits {:>7}  aborts {:>7}",
+                r.workload.name(),
+                r.mechanism.name(),
+                r.metrics.cycles,
+                r.metrics.committed,
+                r.metrics.htm.aborts.get()
+            );
+        }
+    }
+    if args.mesh == 4 && args.mechanisms.contains(&Mechanism::Baseline) {
         println!("== Table I check (baseline abort rates) ==");
         for row in table1_rows() {
             if !workloads.contains(&row.workload) {
@@ -249,7 +301,7 @@ fn main() {
     }
     // The figures are baseline-normalized; a mechanism filter that drops
     // the baseline leaves nothing to normalize against.
-    if args.mechanisms.contains(&Mechanism::Baseline) {
+    if args.mesh == 4 && args.mechanisms.contains(&Mechanism::Baseline) {
         for metric in [
             FigureMetric::Aborts,
             FigureMetric::NetworkTraffic,

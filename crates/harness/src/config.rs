@@ -44,7 +44,14 @@ impl SystemConfig {
     /// directory, 200-cycle memory, 4-stage VC routers, 16-entry P-Buffer,
     /// 32-entry TxLB, fixed 20-cycle nack backoff.
     pub fn paper(mechanism: Mechanism) -> Self {
-        let mesh = Mesh::paper();
+        Self::with_mesh(mechanism, Mesh::paper())
+    }
+
+    /// The Table II configuration on an arbitrary mesh: everything except
+    /// the geometry (and the topology-derived notification allowance) is
+    /// held at the paper's values, so big-mesh scaling runs differ from
+    /// `paper()` in node count alone.
+    pub fn with_mesh(mechanism: Mechanism, mesh: Mesh) -> Self {
         let noc = NocConfig::default();
         let backoff = BackoffConfig {
             round_trip_allowance: LatencyModel::new(mesh, noc).round_trip_allowance(),
@@ -66,7 +73,23 @@ impl SystemConfig {
         }
     }
 
+    /// The paper configuration scaled to an 8x8 mesh (64 nodes) — the
+    /// regime where directory-protocol mismatch effects grow; practical to
+    /// sweep with the intra-run parallel executor.
+    pub fn mesh8(mechanism: Mechanism) -> Self {
+        Self::with_mesh(mechanism, Mesh::new(8, 8))
+    }
+
+    /// The paper configuration scaled to a 16x16 mesh (256 nodes).
+    pub fn mesh16(mechanism: Mechanism) -> Self {
+        Self::with_mesh(mechanism, Mesh::new(16, 16))
+    }
+
     /// A small 2x2 system for fast unit/property tests.
+    ///
+    /// Note: deliberately built by mutating `paper()` rather than via
+    /// `with_mesh`, so the notification allowance keeps the paper's
+    /// 4x4-derived value (goldens depend on it).
     pub fn tiny(mechanism: Mechanism) -> Self {
         let mut c = Self::paper(mechanism);
         c.mesh = Mesh::new(2, 2);
@@ -107,5 +130,21 @@ mod tests {
     fn tiny_config_shrinks_mesh() {
         let c = SystemConfig::tiny(Mechanism::Puno);
         assert_eq!(c.nodes(), 4);
+    }
+
+    #[test]
+    fn big_meshes_scale_nodes_and_rederive_allowance() {
+        let c8 = SystemConfig::mesh8(Mechanism::Puno);
+        assert_eq!(c8.nodes(), 64);
+        let c16 = SystemConfig::mesh16(Mechanism::Puno);
+        assert_eq!(c16.nodes(), 256);
+        // The notification allowance tracks the topology's round trip, so
+        // bigger meshes must grant strictly more than the 4x4's 30 cycles.
+        let c4 = SystemConfig::paper(Mechanism::Puno);
+        assert!(c8.backoff.round_trip_allowance > c4.backoff.round_trip_allowance);
+        assert!(c16.backoff.round_trip_allowance > c8.backoff.round_trip_allowance);
+        // Everything else stays at Table II values.
+        assert_eq!(c8.dir.l2_latency, c4.dir.l2_latency);
+        assert_eq!(c8.commit_latency, c4.commit_latency);
     }
 }

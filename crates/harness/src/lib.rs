@@ -10,6 +10,7 @@
 pub mod cache;
 pub mod config;
 pub mod error;
+pub(crate) mod exec;
 pub mod invariants;
 pub mod mechanism;
 pub mod memory;

@@ -36,6 +36,17 @@ pub struct HostPerf {
     /// (see `sweep::effective_workers`); 0 for standalone runs outside a
     /// sweep.
     pub sweep_workers: u64,
+    /// Intra-run worker-thread count (`PUNO_RUN_THREADS` /
+    /// `System::set_run_threads`); 1 is the serial loop.
+    pub run_workers: u64,
+    /// Waves the parallel executor handed to its worker pool (0 on the
+    /// serial path; sub-threshold waves dispatch serially and don't count).
+    pub par_waves: u64,
+    /// Fraction of pooled worker time spent idle at wave barriers:
+    /// `1 - busy / (workers * span)` summed over all waves. 0 on the
+    /// serial path; rising values flag shard imbalance before wall-clock
+    /// shows it.
+    pub worker_idle_frac: f64,
 }
 
 impl HostPerf {

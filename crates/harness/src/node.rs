@@ -7,7 +7,7 @@
 //! episode to log) that the [`crate::system::System`] applies. That keeps
 //! the protocol logic unit-testable without a network.
 
-use crate::memory::MemoryImage;
+use crate::memory::MemOps;
 use puno_coherence::l1::{Eviction, L1Cache, L1Config, LineState, LookupOutcome};
 use puno_coherence::msg::{CoherenceMsg, TxInfo};
 use puno_coherence::sharers::SharerSet;
@@ -301,7 +301,7 @@ impl NodeState {
     /// Fault injection: abort the running transaction as if a conflict had
     /// been detected. Returns whether a transaction was actually aborted
     /// (idle nodes and committed transactions absorb the fault).
-    pub fn force_abort(&mut self, now: Cycle, memory: &mut MemoryImage) -> (bool, Effects) {
+    pub fn force_abort<M: MemOps>(&mut self, now: Cycle, memory: &mut M) -> (bool, Effects) {
         let mut eff = Effects::default();
         if self.htm.current().is_none() {
             return (false, eff);
@@ -333,7 +333,7 @@ impl NodeState {
     /// Core step: advance the program. Called by the system on a matching
     /// wake event while `phase == Ready`.
     /// ------------------------------------------------------------------
-    pub fn step(&mut self, now: Cycle, memory: &mut MemoryImage) -> Effects {
+    pub fn step<M: MemOps>(&mut self, now: Cycle, memory: &mut M) -> Effects {
         debug_assert_eq!(self.phase, Phase::Ready);
         debug_assert!(self.mshr.is_none());
         self.waiting_retry = None;
@@ -369,11 +369,11 @@ impl NodeState {
         }
     }
 
-    fn step_transaction(
+    fn step_transaction<M: MemOps>(
         &mut self,
         now: Cycle,
         spec: &DynTxSpec,
-        memory: &mut MemoryImage,
+        memory: &mut M,
     ) -> Effects {
         if self.htm.current().is_none() {
             // TX_BEGIN (first attempt or retry).
@@ -455,14 +455,14 @@ impl NodeState {
 
     /// Perform (or start) a memory access.
     #[allow(clippy::too_many_arguments)]
-    fn access(
+    fn access<M: MemOps>(
         &mut self,
         now: Cycle,
         addr: LineAddr,
         sem_write: bool,
         is_tx: bool,
         site: OpSite,
-        memory: &mut MemoryImage,
+        memory: &mut M,
     ) -> Effects {
         match self.l1.access(addr, sem_write) {
             LookupOutcome::Hit(state) => {
@@ -491,7 +491,7 @@ impl NodeState {
     /// The access hit (or the miss completed): record footprint, apply the
     /// store to memory, pin, and advance.
     #[allow(clippy::too_many_arguments)]
-    fn complete_access_locally(
+    fn complete_access_locally<M: MemOps>(
         &mut self,
         now: Cycle,
         addr: LineAddr,
@@ -499,7 +499,7 @@ impl NodeState {
         is_tx: bool,
         site: OpSite,
         state: LineState,
-        memory: &mut MemoryImage,
+        memory: &mut M,
     ) -> Effects {
         if is_tx {
             if sem_write {
@@ -591,11 +591,11 @@ impl NodeState {
     /// ------------------------------------------------------------------
     /// Forwarded requests from the directory (Inv / FwdGets / FwdGetx).
     /// ------------------------------------------------------------------
-    pub fn on_forward(
+    pub fn on_forward<M: MemOps>(
         &mut self,
         now: Cycle,
         msg: &CoherenceMsg,
-        memory: &mut MemoryImage,
+        memory: &mut M,
     ) -> Effects {
         let (addr, requester, tx, kind, unicast) = match msg {
             CoherenceMsg::Inv {
@@ -790,12 +790,12 @@ impl NodeState {
     /// back memory, unpin, and schedule the re-execution. `by` names the
     /// aborter node and conflicting line for conflict aborts (`None` for
     /// injected faults) — the attribution the blame matrix is built from.
-    fn abort_current_tx(
+    fn abort_current_tx<M: MemOps>(
         &mut self,
         now: Cycle,
         cause: AbortCause,
         by: Option<(NodeId, LineAddr)>,
-        memory: &mut MemoryImage,
+        memory: &mut M,
         eff: &mut Effects,
     ) {
         let discarded = self.htm.current().map_or(0, |ctx| ctx.effort(now));
@@ -841,11 +841,11 @@ impl NodeState {
     /// ------------------------------------------------------------------
     /// Responses to our outstanding request.
     /// ------------------------------------------------------------------
-    pub fn on_response(
+    pub fn on_response<M: MemOps>(
         &mut self,
         now: Cycle,
         msg: &CoherenceMsg,
-        memory: &mut MemoryImage,
+        memory: &mut M,
     ) -> Effects {
         if let CoherenceMsg::WbAck { addr } = msg {
             match self.wb_buffer.get_mut(*addr) {
@@ -926,11 +926,11 @@ impl NodeState {
         eff
     }
 
-    fn conclude_episode(
+    fn conclude_episode<M: MemOps>(
         &mut self,
         now: Cycle,
         mshr: Mshr,
-        memory: &mut MemoryImage,
+        memory: &mut M,
         eff: &mut Effects,
     ) {
         let success = mshr.nackers.is_empty();
@@ -1038,11 +1038,11 @@ impl NodeState {
         eff.wake_at = Some(now + delay);
     }
 
-    fn finish_completed_access(
+    fn finish_completed_access<M: MemOps>(
         &mut self,
         now: Cycle,
         mshr: &Mshr,
-        memory: &mut MemoryImage,
+        memory: &mut M,
         eff: &mut Effects,
     ) {
         if mshr.is_tx {
@@ -1147,6 +1147,7 @@ pub const NON_TX_SITE: u32 = u32::MAX;
 mod tests {
     use super::*;
     use crate::mechanism::Mechanism;
+    use crate::memory::MemoryImage;
     use puno_coherence::l1::L1Config;
     use puno_htm::backoff::{BackoffConfig, BackoffKind};
     use puno_htm::unit::AbortTiming;

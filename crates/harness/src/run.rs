@@ -46,6 +46,25 @@ fn install_env_tracer(sys: &mut System, params: &WorkloadParams, seed: u64) {
         sys.install_tracer(tracer);
     }
     arm_env_snapshots(sys);
+    sys.set_run_threads(env_run_threads());
+}
+
+/// Parse a `PUNO_RUN_THREADS` value: the intra-run worker count (see
+/// [`System::set_run_threads`]). Unset, unparsable, or `0` all mean 1 —
+/// the serial loop.
+pub fn parse_run_threads(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The intra-run worker count requested by `PUNO_RUN_THREADS` (default 1,
+/// the serial loop). Applied by every run entry point in this module; the
+/// sweep driver additionally folds it into `sweep::effective_workers` so
+/// sweep x run threads never oversubscribe the host.
+pub fn env_run_threads() -> usize {
+    parse_run_threads(std::env::var("PUNO_RUN_THREADS").ok().as_deref())
 }
 
 /// Parse `PUNO_SNAPSHOT_EVERY`: the cycle interval between periodic ring

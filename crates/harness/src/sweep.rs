@@ -215,6 +215,12 @@ pub struct SweepOptions {
     /// [`SweepOptions::new`] wires in the process-wide `PUNO_RESULT_CACHE`
     /// cache; tests inject their own.
     pub result_cache: Option<Arc<ResultCache>>,
+    /// System configuration per mechanism — [`SystemConfig::paper`] (the
+    /// 4x4 Table II machine) by default; big-mesh scaling sweeps substitute
+    /// [`SystemConfig::mesh8`] / [`SystemConfig::mesh16`]. Cache digests
+    /// already cover the full config, so differently-configured sweeps
+    /// never collide in the result cache.
+    pub config: fn(Mechanism) -> SystemConfig,
 }
 
 impl SweepOptions {
@@ -226,6 +232,7 @@ impl SweepOptions {
             retry: RetryPolicy::from_env(),
             checkpoint: std::env::var_os("PUNO_SWEEP_CHECKPOINT").map(PathBuf::from),
             result_cache: global_cache(),
+            config: SystemConfig::paper,
         }
     }
 }
@@ -267,7 +274,7 @@ pub fn try_sweep(
         mechanisms,
         opts,
         move |mechanism, params, seed, traced| {
-            let config = SystemConfig::paper(mechanism);
+            let config = (opts.config)(mechanism);
             let digest = cell_digest(&config, params, seed);
             if cacheable {
                 if let Some(cache) = &cache {
@@ -310,6 +317,7 @@ pub fn try_sweep(
             if !opts.fault_plan.is_empty() {
                 sys.set_fault_plan(opts.fault_plan.clone());
             }
+            sys.set_run_threads(crate::run::env_run_threads());
             let result = sys.try_run_recycled();
             WORKER_SYSTEM.with(|slot| *slot.borrow_mut() = Some(sys));
             let metrics = result?;
@@ -455,34 +463,43 @@ where
         .into_iter()
         .map(|s| {
             let mut outcome = s.expect("every sweep cell resolved");
-            // Record the sweep's effective worker count in every cell's
+            // Record the sweep's effective worker count — and the intra-run
+            // thread count it was budgeted against — in every cell's
             // host-side perf block (non-deterministic observability only —
             // excluded from golden comparisons like the rest of HostPerf).
             if let CellOutcome::Ok { metrics, .. } = &mut outcome {
                 metrics.host.sweep_workers = threads as u64;
+                metrics.host.run_workers = crate::run::env_run_threads() as u64;
             }
             outcome
         })
         .collect()
 }
 
-/// Effective sweep worker count — the single place it is decided:
-/// `available_parallelism`, optionally capped by the `PUNO_SWEEP_THREADS`
-/// env override (so CI and bench runs use a pinned, reproducible count;
-/// per-cell results are deterministic at any thread count), clamped to the
-/// number of runnable jobs so a small or mostly-resumed sweep does not
-/// spawn idle threads. Unparsable or zero overrides fall back to the
-/// hardware count.
+/// Effective sweep worker count — the single place it is decided.
+///
+/// Starts from `available_parallelism` *divided by the intra-run thread
+/// count* (`PUNO_RUN_THREADS`): each sweep worker may itself fan a cell
+/// out across `run_threads` pool workers, so the sweep budget is clamped
+/// so `sweep_threads x run_threads` never oversubscribes the host (a 4x4
+/// configuration on a 4-core box runs one cell at a time instead of
+/// thrashing 16 threads). The result is optionally capped by the
+/// `PUNO_SWEEP_THREADS` env override (so CI and bench runs use a pinned,
+/// reproducible count; per-cell results are deterministic at any thread
+/// count), then clamped to the number of runnable jobs so a small or
+/// mostly-resumed sweep does not spawn idle threads. Unparsable or zero
+/// overrides fall back to the budgeted count.
 pub fn effective_workers(jobs: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let budget = (hw / crate::run::env_run_threads()).max(1);
     let capped = match std::env::var("PUNO_SWEEP_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
-        Some(n) if n >= 1 => hw.min(n),
-        _ => hw,
+        Some(n) if n >= 1 => budget.min(n),
+        _ => budget,
     };
     capped.min(jobs.max(1))
 }

@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::error::RunError;
+use crate::exec;
 use crate::mechanism::Mechanism;
 use crate::memory::MemoryImage;
 use crate::metrics::RunMetrics;
@@ -36,7 +37,7 @@ const REWIND_TRACE_CAPACITY: usize = 4096;
 
 /// Simulation events.
 #[derive(Clone, Debug)]
-enum Event {
+pub(crate) enum Event {
     /// Resume a node's core FSM (stale epochs are dropped).
     NodeWake { node: NodeId, epoch: u64 },
     /// Advance the network one cycle (re-armed while packets are in
@@ -69,7 +70,7 @@ enum Event {
 /// Per-bank predictor: baseline banks never unicast; PUNO banks run the
 /// P-Buffer/UD machinery.
 #[derive(Clone)]
-enum PredictorImpl {
+pub(crate) enum PredictorImpl {
     Null(NullPredictor),
     Puno(Box<PunoPredictor>),
 }
@@ -223,6 +224,19 @@ pub struct System {
     events_dispatched: u64,
     peak_queue_depth: usize,
     host_wall_secs: f64,
+    /// Intra-run worker count (see [`System::set_run_threads`]); 1 = the
+    /// serial loop. Host-side execution strategy, deliberately not part of
+    /// snapshots (a restore keeps the current setting).
+    run_threads: usize,
+    /// Parallel-executor accounting: waves handed to the pool, summed
+    /// per-shard busy time, and summed wave wall-clock span (for the
+    /// worker-idle fraction in [`crate::metrics::HostPerf`]).
+    par_waves: u64,
+    par_busy_ns: u64,
+    par_span_ns: u64,
+    /// Scratch for the wave scanner's duplicate-wake cut (kept all-false
+    /// between scans).
+    wave_seen: Vec<bool>,
 }
 
 impl System {
@@ -333,6 +347,11 @@ impl System {
             events_dispatched: 0,
             peak_queue_depth: 0,
             host_wall_secs: 0.0,
+            run_threads: 1,
+            par_waves: 0,
+            par_busy_ns: 0,
+            par_span_ns: 0,
+            wave_seen: vec![false; nodes_n as usize],
             config,
         }
     }
@@ -438,7 +457,27 @@ impl System {
         self.events_dispatched = 0;
         self.peak_queue_depth = 0;
         self.host_wall_secs = 0.0;
+        self.run_threads = 1;
+        self.par_waves = 0;
+        self.par_busy_ns = 0;
+        self.par_span_ns = 0;
+        self.wave_seen.fill(false);
         self.config = config;
+    }
+
+    /// Set the intra-run worker count for subsequent runs. `1` (the
+    /// default) is exactly today's serial loop; `n > 1` runs each cycle's
+    /// independent events on a persistent pool of `n` threads (capped at
+    /// the node count), merged so `RunMetrics` stays bit-identical — see
+    /// `crates/harness/src/exec.rs`. Callers compose this with sweep-level
+    /// parallelism via `sweep::effective_workers`.
+    pub fn set_run_threads(&mut self, threads: usize) {
+        self.run_threads = threads.max(1);
+    }
+
+    /// The configured intra-run worker count.
+    pub fn run_threads(&self) -> usize {
+        self.run_threads
     }
 
     /// Capture a copy-on-write checkpoint of the simulated state. The
@@ -860,27 +899,54 @@ impl System {
         result
     }
 
+    /// Dispatch to the serial hot loop or, with [`System::set_run_threads`]
+    /// above 1, the sharded cycle-epoch executor. Both produce bit-identical
+    /// `RunMetrics` (gated by the golden suite and `tests/parallel_exec.rs`).
+    fn run_loop_inner(&mut self) -> Result<(), RunError> {
+        let workers = self.run_threads.min(self.nodes.len()).max(1);
+        if workers <= 1 {
+            self.run_loop_serial()
+        } else {
+            self.run_loop_parallel(workers)
+        }
+    }
+
+    /// The shared pop preamble of every run loop and `step_once`: record
+    /// the pre-pop queue depth, pop via `pop`, advance `last_cycle`, and
+    /// run the livelock guards against the popped cycle. `Ok(None)` means
+    /// the queue drained (the caller renders the deadlock diagnosis).
+    fn pop_guarded<T>(
+        &mut self,
+        pop: impl FnOnce(&mut EventQueue<Event>) -> Option<(Cycle, T)>,
+    ) -> Result<Option<(Cycle, T)>, RunError> {
+        let depth = self.queue.len();
+        if depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
+        }
+        let Some((now, payload)) = pop(&mut self.queue) else {
+            return Ok(None);
+        };
+        self.last_cycle = now;
+        self.guards(now)?;
+        Ok(Some((now, payload)))
+    }
+
     /// The hot loop: batch-pop every event of the earliest cycle and
     /// dispatch in `(cycle, seq)` order. Per-event this is observably
     /// identical to popping one at a time — the guards (max_cycles,
     /// watchdog) depend only on `now`, which is shared by the whole batch,
     /// and events scheduled mid-batch land at later seqs so the next
     /// `pop_cycle_into` picks them up in exactly the one-at-a-time order.
-    fn run_loop_inner(&mut self) -> Result<(), RunError> {
+    fn run_loop_serial(&mut self) -> Result<(), RunError> {
         let mut batch: Vec<Event> = Vec::with_capacity(2 * self.nodes.len());
         loop {
             if self.nodes_done >= self.nodes.len() {
                 return Ok(());
             }
-            let depth = self.queue.len();
-            if depth > self.peak_queue_depth {
-                self.peak_queue_depth = depth;
-            }
-            let Some(now) = self.queue.pop_cycle_into(&mut batch) else {
+            let popped = self.pop_guarded(|q| q.pop_cycle_into(&mut batch).map(|now| (now, ())))?;
+            let Some((now, ())) = popped else {
                 return Err(self.deadlock_error());
             };
-            self.last_cycle = now;
-            self.guards(now)?;
             for event in batch.drain(..) {
                 if self.nodes_done >= self.nodes.len() {
                     // The run is over; one-at-a-time popping would never
@@ -896,6 +962,412 @@ impl System {
             // them. Capturing between events cannot perturb behaviour.
             if self.snapshot_every > 0 && now >= self.next_snapshot_at {
                 self.capture_ring_snapshot(now);
+            }
+        }
+    }
+
+    /// The sharded cycle-epoch executor: same pop/guard/snapshot skeleton
+    /// as [`System::run_loop_serial`], with each popped batch split into
+    /// waves of independently-owned events that a persistent worker pool
+    /// processes concurrently (see `crates/harness/src/exec.rs` for the
+    /// merge-order determinism argument).
+    fn run_loop_parallel(&mut self, workers: usize) -> Result<(), RunError> {
+        let pool = exec::PoolShared::new(workers);
+        let mut result = Ok(());
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let shared = &pool;
+                s.spawn(move || exec::worker_loop(shared, w));
+            }
+            // Retire the pool even if the epoch loop panics: thread::scope
+            // joins its workers on the way out.
+            let _guard = exec::ShutdownGuard(&pool);
+            result = self.parallel_epoch_loop(&pool, workers);
+        });
+        self.par_busy_ns += pool.total_busy_ns();
+        result
+    }
+
+    fn parallel_epoch_loop(
+        &mut self,
+        pool: &exec::PoolShared,
+        workers: usize,
+    ) -> Result<(), RunError> {
+        let mut batch: Vec<Event> = Vec::with_capacity(2 * self.nodes.len());
+        let mut outputs: Vec<exec::WaveOutput> = Vec::new();
+        let mut nacks: Vec<bool> = Vec::new();
+        loop {
+            if self.nodes_done >= self.nodes.len() {
+                return Ok(());
+            }
+            let popped = self.pop_guarded(|q| q.pop_cycle_into(&mut batch).map(|now| (now, ())))?;
+            let Some((now, ())) = popped else {
+                return Err(self.deadlock_error());
+            };
+            let mut i = 0;
+            while i < batch.len() {
+                if self.nodes_done >= self.nodes.len() {
+                    break;
+                }
+                let end = self.scan_wave(&batch, i);
+                if end == i {
+                    // A serial-only event (NetStep reads every router;
+                    // Fault mutates the jitter ledger later injects read):
+                    // dispatched in place. NetStep's deliveries may
+                    // themselves fan out as a delivery wave.
+                    self.events_dispatched += 1;
+                    match batch[i].clone() {
+                        Event::NetStep => {
+                            self.on_net_step_parallel(now, pool, workers, &mut outputs, &mut nacks)
+                        }
+                        event => self.dispatch_event(now, event),
+                    }
+                    i += 1;
+                } else {
+                    // Every wave event counts as dispatched (the serial
+                    // loop counts guard-skipped events too).
+                    self.events_dispatched += (end - i) as u64;
+                    self.run_batch_wave(now, &batch[i..end], pool, workers, &mut outputs);
+                    i = end;
+                }
+            }
+            batch.clear();
+            if self.snapshot_every > 0 && now >= self.next_snapshot_at {
+                self.capture_ring_snapshot(now);
+            }
+        }
+    }
+
+    /// Find the maximal shardable wave starting at `start`: a run of
+    /// NodeWake/MemReady/DirSend/FaultedInject events, cut at (a) the first
+    /// serial-only event (NetStep, Fault), (b) a repeated wake of the same
+    /// node (keeps the finisher pre-scan below exact), and (c) immediately
+    /// after the wake that retires the last node — the serial loop breaks
+    /// out of the batch there, so later events of this cycle must never
+    /// run. Returns the exclusive end; `start` itself means the event at
+    /// `start` must dispatch serially.
+    fn scan_wave(&mut self, batch: &[Event], start: usize) -> usize {
+        if matches!(batch[start], Event::NetStep | Event::Fault { .. }) {
+            return start;
+        }
+        if self.wave_seen.len() < self.nodes.len() {
+            self.wave_seen.resize(self.nodes.len(), false);
+        }
+        let total = self.nodes.len();
+        let mut pending_finishers = 0usize;
+        let mut end = batch.len();
+        for (j, event) in batch.iter().enumerate().skip(start) {
+            match event {
+                Event::NetStep | Event::Fault { .. } => {
+                    end = j;
+                    break;
+                }
+                Event::NodeWake { node, epoch } => {
+                    let idx = node.index();
+                    if self.wave_seen[idx] {
+                        end = j;
+                        break;
+                    }
+                    self.wave_seen[idx] = true;
+                    // Exact pre-image of "this wake retires the node": only
+                    // `NodeState::step` finishes a node, and it does so iff
+                    // the wake is live and the program counter is spent.
+                    let n = &self.nodes[idx];
+                    let finishes = n.epoch == *epoch
+                        && !n.is_done()
+                        && n.phase == crate::node::Phase::Ready
+                        && n.pc >= n.program.items.len();
+                    if finishes {
+                        pending_finishers += 1;
+                        if self.nodes_done + pending_finishers >= total {
+                            end = j + 1;
+                            break;
+                        }
+                    }
+                }
+                Event::DirSend { .. } | Event::FaultedInject { .. } | Event::MemReady { .. } => {}
+            }
+        }
+        for event in &batch[start..end] {
+            if let Event::NodeWake { node, .. } = event {
+                self.wave_seen[node.index()] = false;
+            }
+        }
+        end
+    }
+
+    /// Run one batch wave: below the pool threshold the events dispatch
+    /// serially in place (sound — the scan guarantees any run-ending
+    /// finisher is the wave's last event); above it, workers process their
+    /// shards concurrently and the merge applies all global effects in
+    /// original batch order.
+    fn run_batch_wave(
+        &mut self,
+        now: Cycle,
+        wave: &[Event],
+        pool: &exec::PoolShared,
+        workers: usize,
+        outputs: &mut Vec<exec::WaveOutput>,
+    ) {
+        if wave.len() < exec::MIN_WAVE_PER_WORKER * workers {
+            for event in wave {
+                self.dispatch_event(now, event.clone());
+            }
+            return;
+        }
+        if outputs.len() < wave.len() {
+            outputs.resize_with(wave.len(), Default::default);
+        }
+        for out in outputs[..wave.len()].iter_mut() {
+            out.reset();
+        }
+        self.par_waves += 1;
+        let job = exec::WaveJob {
+            kind: exec::WaveKind::Batch,
+            now,
+            events: wave.as_ptr(),
+            len: wave.len(),
+            nodes: self.nodes.as_mut_ptr(),
+            nodes_len: self.nodes.len(),
+            dirs: self.dirs.as_mut_ptr(),
+            preds: self.predictors.as_mut_ptr(),
+            memory: &self.memory,
+            outputs: outputs.as_mut_ptr(),
+            workers,
+            total_nodes: self.config.nodes(),
+            fault_active: !self.fault.is_empty(),
+            capture_dir_state: false,
+            ..Default::default()
+        };
+        self.par_span_ns += pool.run_wave(job);
+        self.merge_batch_wave(now, wave, &mut outputs[..wave.len()]);
+    }
+
+    /// Apply a processed batch wave's outputs in original batch order:
+    /// exactly the sequence of queue schedules, injections, RNG draws, and
+    /// trace emissions the serial loop interleaves with its node steps.
+    fn merge_batch_wave(&mut self, now: Cycle, wave: &[Event], outputs: &mut [exec::WaveOutput]) {
+        self.publish_wave_writes(outputs);
+        for (event, out) in wave.iter().zip(outputs.iter_mut()) {
+            match event {
+                Event::NodeWake { node, .. } => {
+                    if out.skipped {
+                        continue;
+                    }
+                    if out.probe_fired && self.fault.forced_abort() {
+                        let at = now + self.fault.forced_abort_delay();
+                        self.queue.schedule_at(
+                            at,
+                            Event::Fault {
+                                kind: FaultKind::ForcedAbort,
+                                node: *node,
+                                magnitude: 0,
+                            },
+                        );
+                    }
+                    self.merge_node_trace(*node, out);
+                    self.apply_effects(now, *node, std::mem::take(&mut out.effects));
+                }
+                Event::MemReady { home, .. } => {
+                    let mut actions = std::mem::take(&mut out.dir_actions);
+                    self.apply_dir_actions(now, *home, &mut actions);
+                    out.dir_actions = actions;
+                }
+                // Inject-only events: no shard state, replayed whole here
+                // (in batch order, preserving the jitter/stall RNG streams).
+                Event::DirSend { home, dst, msg } => {
+                    self.inject(now, *home, *dst, msg.clone());
+                }
+                Event::FaultedInject { src, dst, msg } => {
+                    self.inject_now(now, *src, *dst, msg.clone());
+                }
+                Event::NetStep | Event::Fault { .. } => {
+                    unreachable!("serial-only event leaked into a wave")
+                }
+            }
+        }
+    }
+
+    /// Publish every overlay-buffered line write from a processed wave.
+    /// Cross-item order is irrelevant: the single-writer protocol invariant
+    /// guarantees two same-cycle items never write the same line
+    /// (debug-checked); within an item, writes apply in program order.
+    fn publish_wave_writes(&mut self, outputs: &mut [exec::WaveOutput]) {
+        #[cfg(debug_assertions)]
+        {
+            let mut writers: std::collections::HashMap<LineAddr, usize> =
+                std::collections::HashMap::new();
+            for (i, out) in outputs.iter().enumerate() {
+                for (addr, _) in &out.mem_writes {
+                    if let Some(prev) = writers.insert(*addr, i) {
+                        assert_eq!(
+                            prev, i,
+                            "two wave items wrote line {addr:?}: single-writer violated"
+                        );
+                    }
+                }
+            }
+        }
+        for out in outputs.iter_mut() {
+            for (addr, value) in out.mem_writes.drain(..) {
+                self.memory.write(addr, value);
+            }
+        }
+    }
+
+    /// Drain a wave item's buffered node trace into the sinks and hand the
+    /// buffer allocation back to the node (mirrors `drain_node_trace`).
+    fn merge_node_trace(&mut self, node: NodeId, out: &mut exec::WaveOutput) {
+        if out.node_trace.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut out.node_trace);
+        for (cycle, event) in buf.drain(..) {
+            self.sink(cycle, &event);
+        }
+        self.nodes[node.index()].restore_trace_buf(buf);
+    }
+
+    /// The parallel path's NetStep: router arbitration stays serial (it is
+    /// inherently cross-node), but the cycle's ejections — at most one per
+    /// destination — shard cleanly by destination node. Spurious-NACK
+    /// decisions are pre-drawn in delivery order so the per-stream RNG
+    /// sequence matches the serial loop's.
+    fn on_net_step_parallel(
+        &mut self,
+        now: Cycle,
+        pool: &exec::PoolShared,
+        workers: usize,
+        outputs: &mut Vec<exec::WaveOutput>,
+        nacks: &mut Vec<bool>,
+    ) {
+        let mut delivered = std::mem::take(&mut self.delivery_scratch);
+        self.network.step_into(now, &mut delivered);
+        if self.network.is_idle() {
+            self.net_step_armed = false;
+        } else {
+            self.queue.schedule_at(now + 1, Event::NetStep);
+        }
+        if delivered.len() < exec::MIN_WAVE_PER_WORKER * workers {
+            for (dst, msg) in delivered.drain(..) {
+                self.emit(now, TraceChannel::Noc, || TraceEvent::NocDeliver {
+                    dst,
+                    vnet: msg.vnet().index() as u8,
+                    flits: msg.flits(),
+                });
+                self.deliver(now, dst, msg);
+            }
+            self.delivery_scratch = delivered;
+            return;
+        }
+        nacks.clear();
+        if self.fault.is_empty() {
+            nacks.resize(delivered.len(), false);
+        } else {
+            for (_, msg) in &delivered {
+                let forward = matches!(
+                    msg,
+                    CoherenceMsg::Inv { .. }
+                        | CoherenceMsg::FwdGets { .. }
+                        | CoherenceMsg::FwdGetx { .. }
+                );
+                nacks.push(forward && self.fault.spurious_nack());
+            }
+        }
+        if outputs.len() < delivered.len() {
+            outputs.resize_with(delivered.len(), Default::default);
+        }
+        for out in outputs[..delivered.len()].iter_mut() {
+            out.reset();
+        }
+        self.par_waves += 1;
+        let job = exec::WaveJob {
+            kind: exec::WaveKind::Deliver,
+            now,
+            deliveries: delivered.as_ptr(),
+            nacks: nacks.as_ptr(),
+            len: delivered.len(),
+            nodes: self.nodes.as_mut_ptr(),
+            nodes_len: self.nodes.len(),
+            dirs: self.dirs.as_mut_ptr(),
+            preds: self.predictors.as_mut_ptr(),
+            memory: &self.memory,
+            outputs: outputs.as_mut_ptr(),
+            workers,
+            total_nodes: self.config.nodes(),
+            fault_active: !self.fault.is_empty(),
+            capture_dir_state: self.trace_mask.contains(TraceChannel::Dir),
+            ..Default::default()
+        };
+        self.par_span_ns += pool.run_wave(job);
+        self.merge_deliver_wave(now, &delivered, &mut outputs[..delivered.len()]);
+        delivered.clear();
+        self.delivery_scratch = delivered;
+    }
+
+    /// Apply a processed delivery wave's outputs in delivery order,
+    /// reproducing `deliver`'s per-message emission/effect sequence.
+    fn merge_deliver_wave(
+        &mut self,
+        now: Cycle,
+        delivered: &[(NodeId, CoherenceMsg)],
+        outputs: &mut [exec::WaveOutput],
+    ) {
+        self.publish_wave_writes(outputs);
+        for ((dst, msg), out) in delivered.iter().zip(outputs.iter_mut()) {
+            let dst = *dst;
+            self.emit(now, TraceChannel::Noc, || TraceEvent::NocDeliver {
+                dst,
+                vnet: msg.vnet().index() as u8,
+                flits: msg.flits(),
+            });
+            self.emit(now, TraceChannel::Coh, || TraceEvent::CohRecv {
+                dst,
+                kind: msg.trace_kind(),
+                addr: msg.addr(),
+            });
+            match msg {
+                CoherenceMsg::Gets { .. }
+                | CoherenceMsg::Getx { .. }
+                | CoherenceMsg::Putx { .. }
+                | CoherenceMsg::Puts { .. }
+                | CoherenceMsg::Unblock { .. }
+                | CoherenceMsg::WbData { .. } => {
+                    if let CoherenceMsg::Unblock {
+                        addr,
+                        mp_node: Some(mp),
+                        ..
+                    } = msg
+                    {
+                        let (addr, mp) = (*addr, *mp);
+                        self.emit(now, TraceChannel::Pred, || TraceEvent::PredMispredict {
+                            home: dst,
+                            addr,
+                            node: mp,
+                        });
+                    }
+                    let mut actions = std::mem::take(&mut out.dir_actions);
+                    self.apply_dir_actions(now, dst, &mut actions);
+                    out.dir_actions = actions;
+                    if let Some((state, busy)) = out.dir_state.take() {
+                        self.sink(
+                            now,
+                            &TraceEvent::DirState {
+                                home: dst,
+                                kind: msg.trace_kind(),
+                                addr: msg.addr(),
+                                state,
+                                busy,
+                            },
+                        );
+                    }
+                }
+                _ => {
+                    // Forwards, responses, wakeup hints: the node-side
+                    // handling ran in the wave; its effects apply here.
+                    self.merge_node_trace(dst, out);
+                    self.apply_effects(now, dst, std::mem::take(&mut out.effects));
+                }
             }
         }
     }
@@ -926,15 +1398,9 @@ impl System {
         if self.nodes_done >= self.nodes.len() {
             return Ok(false);
         }
-        let depth = self.queue.len();
-        if depth > self.peak_queue_depth {
-            self.peak_queue_depth = depth;
-        }
-        let Some((now, event)) = self.queue.pop() else {
+        let Some((now, event)) = self.pop_guarded(|q| q.pop())? else {
             return Err(self.deadlock_error());
         };
-        self.last_cycle = now;
-        self.guards(now)?;
         self.events_dispatched += 1;
         self.dispatch_event(now, event);
         Ok(true)
@@ -1309,6 +1775,14 @@ impl System {
                 events_dispatched: self.events_dispatched,
                 peak_queue_depth: self.peak_queue_depth as u64,
                 noc_active_scan_ratio: self.network.active_scan_ratio(),
+                run_workers: self.run_threads as u64,
+                par_waves: self.par_waves,
+                worker_idle_frac: if self.par_span_ns > 0 {
+                    let capacity = self.par_span_ns.saturating_mul(self.run_threads as u64);
+                    (1.0 - self.par_busy_ns as f64 / capacity as f64).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
                 ..Default::default()
             }
             .finish(self.finish_cycle),

@@ -1,0 +1,157 @@
+//! Determinism gate for the intra-run parallel executor.
+//!
+//! The sharded cycle-epoch executor (`PUNO_RUN_THREADS` > 1, see
+//! `System::set_run_threads`) must be *bit-identical* to the serial loop:
+//! same event order, same RNG draw order, same `RunMetrics` down to the
+//! last flit — the committed golden grid is the referee. The matrix here
+//! covers the plain grid at several worker counts, fault injection (whose
+//! per-stream RNG draws must land in shard-merge order), the armed
+//! snapshot ring, and a snapshot -> restore -> replay round trip executed
+//! in parallel.
+//!
+//! Worker counts are set through `System::set_run_threads`, never the env
+//! var: tests in one binary share a process and `std::env::set_var` races.
+
+use puno_harness::{Mechanism, RunMetrics, System, SystemConfig};
+use puno_sim::FaultPlan;
+use puno_workloads::WorkloadId;
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_SCALE: f64 = 0.05;
+const SNAPSHOT_EVERY: u64 = 64;
+
+fn golden_path(workload: WorkloadId, mechanism: Mechanism) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.json", workload.name(), mechanism.name()))
+}
+
+fn det_json(metrics: &RunMetrics) -> String {
+    serde_json::to_string(&metrics.deterministic()).expect("RunMetrics must serialize")
+}
+
+fn run_cell(mechanism: Mechanism, workload: WorkloadId, threads: usize) -> RunMetrics {
+    let params = workload.params().scaled(GOLDEN_SCALE);
+    let mut sys = System::new(SystemConfig::paper(mechanism), &params, GOLDEN_SEED);
+    sys.set_run_threads(threads);
+    sys.try_run_recycled().expect("cell completes")
+}
+
+/// All 16 golden cells at 4 run-threads must match the committed golden
+/// snapshots byte for byte — i.e. match what the serial loop produces.
+#[test]
+fn four_thread_runs_match_golden_snapshots_across_the_grid() {
+    let mut mismatches = Vec::new();
+    for &workload in &WorkloadId::ALL {
+        for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+            let metrics = run_cell(mechanism, workload, 4);
+            assert!(
+                metrics.host.par_waves > 0,
+                "{}/{}: the 4-thread run never engaged the pool",
+                workload.name(),
+                mechanism.name()
+            );
+            assert_eq!(metrics.host.run_workers, 4);
+            let path = golden_path(workload, mechanism);
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden snapshot {path:?} ({e})"));
+            if want.trim_end() != det_json(&metrics) {
+                mismatches.push(format!(
+                    "{}/{}: 4-thread metrics diverged from {path:?}",
+                    workload.name(),
+                    mechanism.name()
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "parallel executor broke bit-identity for {} cell(s):\n  {}",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+/// Worker counts that shard 16 nodes unevenly (3) or minimally (2) must
+/// agree with the serial run too — shard boundaries are arbitrary.
+#[test]
+fn odd_worker_counts_match_serial() {
+    let serial = det_json(&run_cell(Mechanism::Puno, WorkloadId::Bayes, 1));
+    for threads in [2, 3, 4, 7] {
+        assert_eq!(
+            serial,
+            det_json(&run_cell(Mechanism::Puno, WorkloadId::Bayes, threads)),
+            "{threads}-thread run diverged from serial"
+        );
+    }
+}
+
+/// Fault injection draws from per-stream RNGs at inject time; the parallel
+/// merge must replay those draws in exactly the serial order.
+#[test]
+fn fault_injection_is_bit_identical_under_parallel_execution() {
+    let params = WorkloadId::Ssca2.params().scaled(GOLDEN_SCALE);
+    let plan = FaultPlan::background(7, 1.0);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut sys = System::new(SystemConfig::paper(Mechanism::Puno), &params, GOLDEN_SEED);
+        sys.set_fault_plan(plan.clone());
+        sys.set_run_threads(threads);
+        let metrics = sys.try_run_recycled().expect("faulted cell completes");
+        assert!(metrics.faults.total() > 0, "the plan must actually fire");
+        runs.push(det_json(&metrics));
+    }
+    assert_eq!(runs[0], runs[1], "faulted run diverged under 4 threads");
+}
+
+/// The snapshot ring rotates at cycle-epoch boundaries; arming it must not
+/// perturb a parallel run, and rewinding to the last retained snapshot then
+/// replaying — still on 4 threads — must reproduce the straight line.
+#[test]
+fn snapshot_ring_and_rewind_replay_are_bit_identical_under_parallel_execution() {
+    let params = WorkloadId::Intruder.params().scaled(GOLDEN_SCALE);
+    for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+        let serial = {
+            let mut sys = System::new(SystemConfig::paper(mechanism), &params, GOLDEN_SEED);
+            sys.set_snapshot_every(SNAPSHOT_EVERY);
+            det_json(&sys.try_run_recycled().expect("serial armed run completes"))
+        };
+        let mut sys = System::new(SystemConfig::paper(mechanism), &params, GOLDEN_SEED);
+        sys.set_snapshot_every(SNAPSHOT_EVERY);
+        sys.set_run_threads(4);
+        let straight = sys
+            .try_run_recycled()
+            .expect("parallel armed run completes");
+        assert_eq!(
+            serial,
+            det_json(&straight),
+            "{}: armed parallel run diverged from armed serial run",
+            mechanism.name()
+        );
+        let snap = sys.latest_snapshot().expect("ring is non-empty");
+        assert!(snap.cycle() <= straight.cycles);
+        sys.restore(&snap);
+        let replayed = sys.try_run_recycled().expect("parallel replay completes");
+        assert_eq!(
+            det_json(&straight),
+            det_json(&replayed),
+            "{}: parallel rewind-and-replay diverged",
+            mechanism.name()
+        );
+    }
+}
+
+/// `PUNO_RUN_THREADS` parsing: unset, garbage, and `0` all mean the serial
+/// loop.
+#[test]
+fn run_thread_env_parsing_defaults_to_serial() {
+    use puno_harness::run::parse_run_threads;
+    assert_eq!(parse_run_threads(None), 1);
+    assert_eq!(parse_run_threads(Some("")), 1);
+    assert_eq!(parse_run_threads(Some("banana")), 1);
+    assert_eq!(parse_run_threads(Some("0")), 1);
+    assert_eq!(parse_run_threads(Some("1")), 1);
+    assert_eq!(parse_run_threads(Some(" 4 ")), 4);
+    assert_eq!(parse_run_threads(Some("16")), 16);
+}

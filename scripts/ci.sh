@@ -108,6 +108,27 @@ diff "$RES_DIR/ref.det.txt" "$RES_DIR/resumed.det.txt" \
 [ -s "$RES_DIR/ckpt.jsonl" ] || { echo "resumed sweep wrote no checkpoint"; exit 1; }
 echo "checkpoint smoke OK (resume matches uninterrupted aggregate output)"
 
+echo "== parallel-executor smoke (golden sweep, 1 vs 4 run-threads) =="
+# The sharded cycle-epoch executor must be bit-identical to the serial
+# loop: the full golden-scale sweep runs once serial and once with 4
+# intra-run workers, and everything deterministic (all rows above the
+# host-perf section) must match byte for byte. The serial pass doubles as
+# a sanity check that PUNO_RUN_THREADS=1 takes the plain serial path (no
+# "parallel:" line in its host-perf section).
+PUNO_RUN_THREADS=1 PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/run1.txt" 2> /dev/null
+PUNO_RUN_THREADS=4 PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/run4.txt" 2> /dev/null
+sed '/^simulator throughput/,$d' "$RES_DIR/run1.txt" > "$RES_DIR/run1.det.txt"
+sed '/^simulator throughput/,$d' "$RES_DIR/run4.txt" > "$RES_DIR/run4.det.txt"
+diff "$RES_DIR/run1.det.txt" "$RES_DIR/run4.det.txt" \
+    || { echo "4-run-thread sweep diverged from the serial loop"; exit 1; }
+grep -q "parallel: 4 run thread(s)" "$RES_DIR/run4.txt" \
+    || { echo "4-run-thread sweep never engaged the worker pool"; exit 1; }
+! grep -q "parallel:" "$RES_DIR/run1.txt" \
+    || { echo "serial sweep unexpectedly reported pool activity"; exit 1; }
+echo "parallel smoke OK (serial and 4-thread sweeps byte-identical)"
+
 echo "== traced smoke (one cell, JSONL schema + Chrome export) =="
 # Re-run one sweep cell fully traced: every JSONL line must parse as a
 # trace record within the requested channel filter, and the Chrome-trace
