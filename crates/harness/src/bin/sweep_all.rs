@@ -1,12 +1,22 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
-//! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism>]
+//! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism|workload:mechanism>]
 //!                  [--trace <workload>:<mechanism>] [--mesh <4|8|16>]
+//!                  [--compact-cache]
 //!
 //! `--filter` restricts the grid: an argument matching a workload name
 //! (substring, case-insensitive) keeps only those workloads; one matching a
-//! mechanism name keeps only those mechanisms. With `PUNO_RESULT_CACHE`
-//! set, unchanged cells replay from the persistent cache (stats go to
-//! stderr; stdout stays byte-identical between a cold and a warm run).
+//! mechanism name keeps only those mechanisms. A `workload:mechanism` pair
+//! (exact names) selects individual cells instead — repeatable, and the
+//! sweep then prints the raw per-cell summary and host-perf section only
+//! (the tables and baseline-normalized figures need the full grid). With
+//! `PUNO_RESULT_CACHE` set, unchanged cells replay from the persistent
+//! cache (stats go to stderr; stdout stays byte-identical between a cold
+//! and a warm run).
+//!
+//! `--compact-cache` compacts the `PUNO_RESULT_CACHE` directory in place —
+//! rewriting `results.jsonl` without corrupt, stale-engine-version, or
+//! duplicate records — reports what was dropped, and exits without
+//! sweeping.
 //!
 //! `--mesh 8` / `--mesh 16` runs the sweep on the Table II configuration
 //! scaled to an 8x8 (64-node) or 16x16 (256-node) mesh. The paper's
@@ -20,7 +30,12 @@
 //! directory), the channel filter honours `PUNO_TRACE` (default: all
 //! channels), and the abort-blame / contention-heat / time-series summary
 //! prints to stdout. The result cache is bypassed — a cache hit replays no
-//! events, so it could never produce a trace.
+//! events, so it could never produce a trace. By default the traced run
+//! fast-forwards through the mechanism-neutral prefix (everything before
+//! the first transaction) with the sinks detached, attaching them at the
+//! same snapshot boundary the sweep forks from — metrics are unchanged,
+//! but pre-transaction NoC/memory records are absent from the stream; set
+//! `PUNO_PREFIX_FORK=0` to trace from cycle 0.
 
 use puno_harness::report::{render_host_perf, render_quarantine, FigureMetric, NormalizedFigure};
 use puno_harness::sweep::{try_sweep, CellOutcome, SweepOptions};
@@ -33,9 +48,14 @@ struct Args {
     seed: u64,
     workloads: Vec<WorkloadId>,
     mechanisms: Vec<Mechanism>,
+    /// Individual cells selected by `--filter workload:mechanism` pairs;
+    /// non-empty takes precedence over the axis filters above.
+    pairs: Vec<(WorkloadId, Mechanism)>,
     trace: Option<(WorkloadId, Mechanism)>,
     /// Mesh edge length: 4 (the paper machine), 8, or 16.
     mesh: u32,
+    /// Compact the result cache and exit instead of sweeping.
+    compact_cache: bool,
 }
 
 impl Args {
@@ -64,11 +84,15 @@ fn lookup_cell(spec: &str) -> Option<(WorkloadId, Mechanism)> {
 fn parse_args() -> Args {
     let mut positional: Vec<String> = Vec::new();
     let mut filters: Vec<String> = Vec::new();
+    let mut pairs: Vec<(WorkloadId, Mechanism)> = Vec::new();
     let mut trace = None;
     let mut mesh = 4u32;
+    let mut compact_cache = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        if arg == "--mesh" {
+        if arg == "--compact-cache" {
+            compact_cache = true;
+        } else if arg == "--mesh" {
             let parsed = argv.next().and_then(|v| v.trim().parse::<u32>().ok());
             match parsed {
                 Some(n @ (4 | 8 | 16)) => mesh = n,
@@ -79,10 +103,28 @@ fn parse_args() -> Args {
             }
         } else if arg == "--filter" {
             let Some(value) = argv.next() else {
-                eprintln!("--filter requires a value (a workload or mechanism name)");
+                eprintln!(
+                    "--filter requires a value (a workload or mechanism name, \
+                     or a workload:mechanism pair)"
+                );
                 std::process::exit(2);
             };
-            filters.push(value.to_ascii_lowercase());
+            if value.contains(':') {
+                let Some(cell) = lookup_cell(&value) else {
+                    let w_names: Vec<&str> = WorkloadId::ALL.iter().map(|w| w.name()).collect();
+                    let m_names: Vec<&str> = Mechanism::ALL.iter().map(|m| m.name()).collect();
+                    eprintln!(
+                        "--filter {value:?} is not <workload>:<mechanism> with workload in \
+                         {w_names:?} and mechanism in {m_names:?}"
+                    );
+                    std::process::exit(2);
+                };
+                if !pairs.contains(&cell) {
+                    pairs.push(cell);
+                }
+            } else {
+                filters.push(value.to_ascii_lowercase());
+            }
         } else if arg == "--trace" {
             let Some(value) = argv.next() else {
                 eprintln!("--trace requires <workload>:<mechanism>");
@@ -136,8 +178,10 @@ fn parse_args() -> Args {
         seed: positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1),
         workloads,
         mechanisms,
+        pairs,
         trace,
         mesh,
+        compact_cache,
     }
 }
 
@@ -146,6 +190,23 @@ fn parse_args() -> Args {
 fn run_traced_cell(args: &Args, wl: WorkloadId, mech: Mechanism) {
     let params = wl.params().scaled(args.scale);
     let mut sys = System::new(args.config_fn()(mech), &params, args.seed);
+    // Fast-forward through the mechanism-neutral prefix with the sinks
+    // still detached — the same checkpoint boundary the sweep forks cells
+    // from — instead of tracing the pre-transaction warm-up. Metrics are
+    // bit-identical either way (the prefix loop is the serial loop with an
+    // early stop); only pre-begin NoC/memory records are absent from the
+    // stream. `PUNO_PREFIX_FORK=0` restores cycle-0 tracing.
+    let mut fast_forwarded = None;
+    if puno_harness::run::env_prefix_fork() {
+        match sys.run_prefix(puno_harness::run::env_prefix_cycles()) {
+            Ok(puno_harness::PrefixStop::Armed { cycle }) => fast_forwarded = Some(cycle),
+            Ok(puno_harness::PrefixStop::Completed) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mask = match puno_sim::TraceConfig::from_env() {
         Ok(Some(cfg)) => cfg.mask,
         Ok(None) => puno_sim::ChannelMask::ALL,
@@ -196,12 +257,125 @@ fn run_traced_cell(args: &Args, wl: WorkloadId, mech: Mechanism) {
         mask.spec(),
         path.display()
     );
+    if let Some(cycle) = fast_forwarded {
+        eprintln!(
+            "trace fast-forward: pre-transaction prefix (cycles 0..{cycle}) replayed with \
+             sinks detached; set PUNO_PREFIX_FORK=0 to trace from cycle 0"
+        );
+    }
+}
+
+/// Report the process-wide result cache's hit/miss/recovery counters on
+/// stderr (stdout stays reserved for the deterministic report).
+fn print_cache_stats() {
+    if let Some(cache) = puno_harness::global_cache() {
+        let s = cache.stats();
+        eprintln!(
+            "result cache: {} hits, {} misses, {} stored ({} entries)",
+            s.hits, s.misses, s.stores, s.entries
+        );
+        if s.corrupt_skipped > 0 || s.stale_skipped > 0 {
+            eprintln!(
+                "result cache recovered: {} corrupt, {} stale record(s) skipped at open",
+                s.corrupt_skipped, s.stale_skipped
+            );
+        }
+    }
+}
+
+/// `--compact-cache` mode: rewrite the persistent cache without corrupt,
+/// stale, or duplicate records, report what was dropped, and exit.
+fn run_compact_cache() -> ! {
+    let Some(cache) = puno_harness::global_cache() else {
+        eprintln!("--compact-cache requires PUNO_RESULT_CACHE to point at a cache directory");
+        std::process::exit(2);
+    };
+    match cache.compact() {
+        Ok(s) => {
+            println!(
+                "result cache compacted: {} record(s) kept; dropped {} corrupt, {} stale, \
+                 {} duplicate",
+                s.kept, s.dropped_corrupt, s.dropped_stale, s.dropped_duplicate
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("result cache compaction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--filter workload:mechanism` mode: run exactly the selected cells —
+/// grouped per workload so cells sharing a prefix group still fork from one
+/// snapshot — and print the raw per-cell summary plus host perf (the
+/// tables and baseline-normalized figures need the full grid).
+fn run_pair_cells(args: &Args) {
+    let t0 = std::time::Instant::now();
+    let mut opts = SweepOptions::new(args.seed, args.scale);
+    opts.config = args.config_fn();
+    let mut outcomes: Vec<CellOutcome> = Vec::new();
+    let mut seen: Vec<WorkloadId> = Vec::new();
+    for &(wl, _) in &args.pairs {
+        if seen.contains(&wl) {
+            continue;
+        }
+        seen.push(wl);
+        let mechs: Vec<Mechanism> = args
+            .pairs
+            .iter()
+            .filter(|&&(w, _)| w == wl)
+            .map(|&(_, m)| m)
+            .collect();
+        outcomes.extend(try_sweep(&[wl], &mechs, &opts));
+    }
+    eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
+    let results: Vec<SweepResult> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            CellOutcome::Ok { key, metrics } => Some(SweepResult {
+                workload: key.workload,
+                mechanism: key.mechanism,
+                metrics: metrics.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    print_cache_stats();
+    println!(
+        "== cell sweep ({} selected cell(s), seed {}, scale {}) ==",
+        args.pairs.len(),
+        args.seed,
+        args.scale
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:<9} cycles {:>9}  commits {:>7}  aborts {:>7}",
+            r.workload.name(),
+            r.mechanism.name(),
+            r.metrics.cycles,
+            r.metrics.committed,
+            r.metrics.htm.aborts.get()
+        );
+    }
+    println!("{}", render_host_perf(&results));
+    if let Some(section) = render_quarantine(&outcomes) {
+        print!("\n{section}");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let args = parse_args();
+    if args.compact_cache {
+        run_compact_cache();
+    }
     if let Some((wl, mech)) = args.trace {
         run_traced_cell(&args, wl, mech);
+        return;
+    }
+    if !args.pairs.is_empty() {
+        run_pair_cells(&args);
         return;
     }
     let t0 = std::time::Instant::now();
@@ -232,19 +406,7 @@ fn main() {
                 .all(|&m| puno_harness::sweep::find(&results, w, m).is_some())
         });
     }
-    if let Some(cache) = puno_harness::global_cache() {
-        let s = cache.stats();
-        eprintln!(
-            "result cache: {} hits, {} misses, {} stored ({} entries)",
-            s.hits, s.misses, s.stores, s.entries
-        );
-        if s.corrupt_skipped > 0 || s.stale_skipped > 0 {
-            eprintln!(
-                "result cache recovered: {} corrupt, {} stale record(s) skipped at open",
-                s.corrupt_skipped, s.stale_skipped
-            );
-        }
-    }
+    print_cache_stats();
 
     // Table I bands and the baseline-normalized figures are calibrated
     // against the 4x4 paper machine; big-mesh sweeps print a raw per-cell

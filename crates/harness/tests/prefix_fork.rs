@@ -1,0 +1,278 @@
+//! Bit-identity gate for prefix-fork execution.
+//!
+//! A sweep cell materialized by `System::fork_from` — restore the group's
+//! mechanism-neutral prefix snapshot (`System::run_prefix`), swap in the
+//! cell's mechanism — must produce `RunMetrics` byte-identical to a
+//! straight-line run of that cell. The committed golden grid is the
+//! referee, exactly as for the parallel executor: forked runs are compared
+//! against the same snapshots the serial straight-line runs are blessed
+//! from. The matrix covers both swap directions (prefix under Baseline
+//! forking into Puno and vice versa), an armed `FaultPlan` (whose prefix
+//! RNG draws are part of the shared state), 4 intra-run workers on the
+//! forked suffix, the `PUNO_PREFIX_CYCLES`-style cap (which may only
+//! shorten the prefix), and the sweep-level `prefix_fork` toggle.
+//!
+//! Worker counts and fork toggles are set through the System / SweepOptions
+//! APIs, never env vars: tests in one binary share a process and
+//! `std::env::set_var` races.
+
+use puno_harness::sweep::{try_sweep, CellOutcome, SweepOptions};
+use puno_harness::{fork_compatible, Mechanism, PrefixStop, RunMetrics, System, SystemConfig};
+use puno_sim::FaultPlan;
+use puno_workloads::{ProgramSet, WorkloadId};
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_SCALE: f64 = 0.05;
+
+fn golden_path(workload: WorkloadId, mechanism: Mechanism) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.json", workload.name(), mechanism.name()))
+}
+
+fn det_json(metrics: &RunMetrics) -> String {
+    serde_json::to_string(&metrics.deterministic()).expect("RunMetrics must serialize")
+}
+
+fn golden_json(workload: WorkloadId, mechanism: Mechanism) -> String {
+    let path = golden_path(workload, mechanism);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {path:?} ({e})"))
+        .trim_end()
+        .to_string()
+}
+
+/// Run `cell_mech` for `workload` by forking from a prefix executed under
+/// `prefix_mech`. The forked cell starts from a *recycled* System built
+/// for the target mechanism (the sweep's worker-System shape), so the test
+/// also proves `fork_from` fully re-targets pre-existing state.
+fn forked_run(
+    workload: WorkloadId,
+    prefix_mech: Mechanism,
+    cell_mech: Mechanism,
+    threads: usize,
+    plan: Option<&FaultPlan>,
+    cap: Option<u64>,
+) -> RunMetrics {
+    let params = workload.params().scaled(GOLDEN_SCALE);
+    let prefix_config = SystemConfig::paper(prefix_mech);
+    let programs = ProgramSet::generate(&params, prefix_config.nodes(), GOLDEN_SEED);
+    let mut runner = System::new_shared(prefix_config, &params, GOLDEN_SEED, &programs);
+    if let Some(p) = plan {
+        runner.set_fault_plan(p.clone());
+    }
+    let stop = runner.run_prefix(cap).expect("prefix must not fail");
+    assert!(
+        matches!(stop, PrefixStop::Armed { .. }),
+        "{}: every golden workload reaches a transaction",
+        workload.name()
+    );
+    let snap = runner.snapshot();
+    let cell_config = SystemConfig::paper(cell_mech);
+    let mut sys = System::new_shared(cell_config, &params, GOLDEN_SEED, &programs);
+    sys.fork_from(&snap, cell_config);
+    sys.set_run_threads(threads);
+    sys.try_run_recycled().expect("forked cell completes")
+}
+
+/// All 16 golden cells, forked in both swap directions (and via the
+/// same-mechanism restore-only path), must match the committed golden
+/// snapshots byte for byte — i.e. match the straight-line serial runs they
+/// were blessed from.
+#[test]
+fn forked_runs_match_golden_snapshots_across_the_grid() {
+    let mut mismatches = Vec::new();
+    for &workload in &WorkloadId::ALL {
+        for cell_mech in [Mechanism::Baseline, Mechanism::Puno] {
+            let want = golden_json(workload, cell_mech);
+            for prefix_mech in [Mechanism::Baseline, Mechanism::Puno] {
+                let metrics = forked_run(workload, prefix_mech, cell_mech, 1, None, None);
+                if want != det_json(&metrics) {
+                    mismatches.push(format!(
+                        "{}/{} forked from a {} prefix diverged from the golden snapshot",
+                        workload.name(),
+                        cell_mech.name(),
+                        prefix_mech.name()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "prefix fork broke bit-identity for {} cell(s):\n  {}",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+/// An armed fault plan draws from its RNG streams during the prefix; the
+/// forked suffix must replay the remaining draws exactly as a straight-line
+/// faulted run does — for every mechanism.
+#[test]
+fn fork_parity_with_fault_plan_armed() {
+    let params = WorkloadId::Ssca2.params().scaled(GOLDEN_SCALE);
+    let plan = FaultPlan::background(7, 1.0);
+    for &mechanism in &Mechanism::ALL {
+        let straight = {
+            let mut sys = System::new(SystemConfig::paper(mechanism), &params, GOLDEN_SEED);
+            sys.set_fault_plan(plan.clone());
+            sys.try_run_recycled().expect("faulted cell completes")
+        };
+        assert!(
+            straight.faults.total() > 0,
+            "{}: the plan must actually fire",
+            mechanism.name()
+        );
+        let forked = forked_run(
+            WorkloadId::Ssca2,
+            Mechanism::Baseline,
+            mechanism,
+            1,
+            Some(&plan),
+            None,
+        );
+        assert_eq!(
+            det_json(&straight),
+            det_json(&forked),
+            "{}: faulted forked run diverged from straight line",
+            mechanism.name()
+        );
+    }
+}
+
+/// Forked cells inherit the intra-run parallel executor: a 4-thread suffix
+/// continued from the fork point must still match the golden snapshots.
+#[test]
+fn fork_parity_at_four_run_threads() {
+    for &workload in &[WorkloadId::Intruder, WorkloadId::Bayes] {
+        for cell_mech in [Mechanism::Baseline, Mechanism::Puno] {
+            let prefix_mech = match cell_mech {
+                Mechanism::Baseline => Mechanism::Puno,
+                _ => Mechanism::Baseline,
+            };
+            let metrics = forked_run(workload, prefix_mech, cell_mech, 4, None, None);
+            assert!(
+                metrics.host.par_waves > 0,
+                "{}/{}: the 4-thread suffix never engaged the pool",
+                workload.name(),
+                cell_mech.name()
+            );
+            assert_eq!(
+                golden_json(workload, cell_mech),
+                det_json(&metrics),
+                "{}/{}: 4-thread forked run diverged from the golden snapshot",
+                workload.name(),
+                cell_mech.name()
+            );
+        }
+    }
+}
+
+/// The prefix-cycle cap (`PUNO_PREFIX_CYCLES`) may only shorten the
+/// prefix: forking from an earlier — even empty — prefix is still
+/// bit-identical, just with less sharing.
+#[test]
+fn prefix_cap_only_shortens_and_stays_bit_identical() {
+    let want = golden_json(WorkloadId::Genome, Mechanism::Puno);
+    for cap in [Some(0), Some(3), Some(u64::MAX)] {
+        let metrics = forked_run(
+            WorkloadId::Genome,
+            Mechanism::Baseline,
+            Mechanism::Puno,
+            1,
+            None,
+            cap,
+        );
+        assert_eq!(
+            want,
+            det_json(&metrics),
+            "cap {cap:?}: capped-prefix fork diverged from the golden snapshot"
+        );
+    }
+}
+
+/// `fork_compatible` accepts mechanism-only drift and rejects everything
+/// else (a snapshot from another machine describes a different cell).
+#[test]
+fn fork_compatible_normalizes_exactly_the_mechanism_axis() {
+    let base = SystemConfig::paper(Mechanism::Baseline);
+    for &m in &Mechanism::ALL {
+        assert!(fork_compatible(&base, &SystemConfig::paper(m)));
+    }
+    assert!(!fork_compatible(
+        &base,
+        &SystemConfig::mesh8(Mechanism::Baseline)
+    ));
+    let mut slower = base;
+    slower.commit_latency += 1;
+    assert!(!fork_compatible(&base, &slower));
+}
+
+/// The sweep-level toggle: a fork-on sweep must produce outcome-for-outcome
+/// identical deterministic metrics to a fork-off sweep, every non-runner
+/// cell of each group must actually fork, and a fork-off sweep must never
+/// fork.
+#[test]
+fn sweep_prefix_fork_matches_fork_off() {
+    let workloads = [WorkloadId::Genome, WorkloadId::Ssca2];
+    let run = |prefix_fork: bool| {
+        let mut opts = SweepOptions::new(GOLDEN_SEED, GOLDEN_SCALE);
+        opts.result_cache = None;
+        opts.checkpoint = None;
+        opts.prefix_fork = prefix_fork;
+        try_sweep(&workloads, &Mechanism::ALL, &opts)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.len(), on.len());
+    let mut forks = 0u64;
+    for (a, b) in off.iter().zip(on.iter()) {
+        let (
+            CellOutcome::Ok {
+                key: ka,
+                metrics: ma,
+            },
+            CellOutcome::Ok {
+                key: kb,
+                metrics: mb,
+            },
+        ) = (a, b)
+        else {
+            panic!("both sweeps must complete every cell");
+        };
+        assert_eq!(ka, kb);
+        assert_eq!(
+            det_json(ma),
+            det_json(mb),
+            "{}/{}: fork-on sweep diverged from fork-off",
+            ka.workload.name(),
+            ka.mechanism.name()
+        );
+        assert_eq!(ma.host.prefix_forks, 0, "fork-off sweep must not fork");
+        forks += mb.host.prefix_forks;
+    }
+    // One prefix runner per (workload, seed) group; every sibling forks:
+    // 2 workloads x 4 mechanisms - 2 runners.
+    assert_eq!(
+        forks, 6,
+        "every non-runner cell must fork from the snapshot"
+    );
+}
+
+/// `PUNO_PREFIX_FORK` / `PUNO_PREFIX_CYCLES` parsing (pure functions; the
+/// env vars themselves are process-shared and not touched here).
+#[test]
+fn prefix_env_parsing() {
+    use puno_harness::run::parse_prefix_fork;
+    assert!(parse_prefix_fork(None));
+    assert!(parse_prefix_fork(Some("1")));
+    assert!(parse_prefix_fork(Some("on")));
+    assert!(!parse_prefix_fork(Some("")));
+    assert!(!parse_prefix_fork(Some("0")));
+    assert!(!parse_prefix_fork(Some("off")));
+    assert!(!parse_prefix_fork(Some("false")));
+    assert!(!parse_prefix_fork(Some("no")));
+    assert!(!parse_prefix_fork(Some(" OFF ")));
+}

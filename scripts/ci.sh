@@ -129,6 +129,28 @@ grep -q "parallel: 4 run thread(s)" "$RES_DIR/run4.txt" \
     || { echo "serial sweep unexpectedly reported pool activity"; exit 1; }
 echo "parallel smoke OK (serial and 4-thread sweeps byte-identical)"
 
+echo "== prefix-fork smoke (golden sweep, fork-off vs fork-on) =="
+# Prefix-fork execution runs each (workload, seed) group's mechanism-neutral
+# prefix once and forks every sibling cell from the snapshot. The full
+# golden sweep must be byte-identical fork-on vs fork-off in everything
+# deterministic (all rows above the host-perf section); only the host
+# section may differ — fork-on honestly reports the sharing it did. With 8
+# workloads x 4 mechanisms and one prefix runner per group, exactly 24
+# cells must fork.
+PUNO_PREFIX_FORK=0 PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/fork0.txt" 2> /dev/null
+PUNO_PREFIX_FORK=1 PUNO_SWEEP_THREADS=4 "$SWEEP_BIN" 0.05 1 \
+    > "$RES_DIR/fork1.txt" 2> /dev/null
+sed '/^simulator throughput/,$d' "$RES_DIR/fork0.txt" > "$RES_DIR/fork0.det.txt"
+sed '/^simulator throughput/,$d' "$RES_DIR/fork1.txt" > "$RES_DIR/fork1.det.txt"
+diff "$RES_DIR/fork0.det.txt" "$RES_DIR/fork1.det.txt" \
+    || { echo "prefix-fork sweep diverged from straight-line execution"; exit 1; }
+grep -q "prefix-fork: 24 forked cell(s)" "$RES_DIR/fork1.txt" \
+    || { echo "fork-on sweep did not fork every non-runner cell"; exit 1; }
+! grep -q "prefix-fork:" "$RES_DIR/fork0.txt" \
+    || { echo "fork-off sweep unexpectedly reported prefix sharing"; exit 1; }
+echo "prefix-fork smoke OK (fork-on and fork-off sweeps byte-identical, 24 cells forked)"
+
 echo "== traced smoke (one cell, JSONL schema + Chrome export) =="
 # Re-run one sweep cell fully traced: every JSONL line must parse as a
 # trace record within the requested channel filter, and the Chrome-trace
