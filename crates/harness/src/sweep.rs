@@ -359,6 +359,11 @@ pub fn try_sweep(
                     ran_prefix_here = true;
                     reset_now(&mut sys);
                     let sys = sys.as_mut().expect("worker System just installed");
+                    // The shared prefix honors the same express setting as
+                    // the cells that fork from it, so an express-off sweep
+                    // is express-off end to end (admission is transparent
+                    // either way; this keeps the counters honest).
+                    sys.set_noc_express(crate::run::env_noc_express());
                     // The plan must be armed before the prefix: fault RNG
                     // draws during the prefix are part of the shared state
                     // (and of any straight-line run's history).
@@ -424,6 +429,7 @@ pub fn try_sweep(
                 sys.set_fault_plan(opts.fault_plan.clone());
             }
             sys.set_run_threads(crate::run::env_run_threads());
+            sys.set_noc_express(crate::run::env_noc_express());
             let result = sys.try_run_recycled();
             WORKER_SYSTEM.with(|slot| *slot.borrow_mut() = Some(sys));
             let mut metrics = result?;

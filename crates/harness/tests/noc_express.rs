@@ -1,0 +1,212 @@
+//! Bit-identity gate for the NoC express path (`System::set_noc_express`).
+//!
+//! Express delivery fast-forwards provably contention-free packets past the
+//! cycle-stepped router pipeline and lets the run loop quiesce while only
+//! express flights are in the network. The contract is that this is a pure
+//! host-throughput optimisation: `RunMetrics::deterministic()` must be byte
+//! identical with express on and off, in every execution mode. The committed
+//! golden grid is the referee for the on-path, and a direct on-vs-off diff
+//! covers modes the goldens do not (faults, forks).
+//!
+//! Express is toggled through the System API, never `PUNO_NOC_EXPRESS`:
+//! tests in one binary share a process and `std::env::set_var` races.
+
+use puno_harness::{Mechanism, PrefixStop, RunMetrics, System, SystemConfig};
+use puno_sim::{FaultEvent, FaultKind, FaultPlan, NodeId};
+use puno_workloads::{ProgramSet, WorkloadId};
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_SCALE: f64 = 0.05;
+
+fn det_json(metrics: &RunMetrics) -> String {
+    serde_json::to_string(&metrics.deterministic()).expect("RunMetrics must serialize")
+}
+
+fn golden_json(workload: WorkloadId, mechanism: Mechanism) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.json", workload.name(), mechanism.name()));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {path:?} ({e})"))
+        .trim_end()
+        .to_string()
+}
+
+/// One golden-scale cell with a caller-chosen System setup.
+fn run_cell(
+    workload: WorkloadId,
+    mechanism: Mechanism,
+    configure: impl FnOnce(&mut System),
+) -> RunMetrics {
+    let params = workload.params().scaled(GOLDEN_SCALE);
+    let config = SystemConfig::paper(mechanism);
+    let programs = ProgramSet::generate(&params, config.nodes(), GOLDEN_SEED);
+    let mut sys = System::new_shared(config, &params, GOLDEN_SEED, &programs);
+    configure(&mut sys);
+    sys.try_run_recycled().expect("golden-scale cell completes")
+}
+
+/// Every golden cell run express-on must (a) match the committed golden
+/// snapshot byte for byte, (b) match its own express-off twin, and (c)
+/// actually exercise the express path — a zero hit count would make the
+/// whole suite vacuous.
+#[test]
+fn express_is_bit_identical_across_the_golden_grid() {
+    let mut failures = Vec::new();
+    for &workload in &WorkloadId::ALL {
+        for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+            let cell = format!("{}/{}", workload.name(), mechanism.name());
+            let on = run_cell(workload, mechanism, |sys| sys.set_noc_express(true));
+            let off = run_cell(workload, mechanism, |sys| sys.set_noc_express(false));
+            if det_json(&on) != golden_json(workload, mechanism) {
+                failures.push(format!(
+                    "{cell}: express-on diverged from the golden snapshot"
+                ));
+            }
+            if det_json(&on) != det_json(&off) {
+                failures.push(format!("{cell}: express-on diverged from express-off"));
+            }
+            if on.host.express_packets == 0 {
+                failures.push(format!("{cell}: express path never admitted a packet"));
+            }
+            if off.host.express_packets != 0 || off.host.quiesced_cycles != 0 {
+                failures.push(format!("{cell}: express-off run reported express activity"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "express transparency broken for {} cell(s):\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// A fault plan mixing rate-based link stalls and delay jitter with
+/// explicitly aimed mid-run `LinkStall` events. Stalls land while express
+/// flights are in the air, forcing the mid-flight collapse/fallback path;
+/// the faulted run must still be bit-identical on vs off, for every
+/// mechanism.
+#[test]
+fn link_stall_and_jitter_faults_force_identical_fallback() {
+    let plan = FaultPlan {
+        events: (0..8)
+            .map(|i| FaultEvent {
+                at: 300 + i * 700,
+                kind: FaultKind::LinkStall,
+                node: NodeId((i % 16) as u16),
+                magnitude: 24,
+            })
+            .collect(),
+        ..FaultPlan::background(7, 1.0)
+    };
+    for &mechanism in &Mechanism::ALL {
+        let run = |express: bool| {
+            run_cell(WorkloadId::Ssca2, mechanism, |sys| {
+                sys.set_fault_plan(plan.clone());
+                sys.set_noc_express(express);
+            })
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(
+            on.faults.total() > 0,
+            "{}: fault plan injected nothing — the fallback path went untested",
+            mechanism.name()
+        );
+        assert!(
+            on.host.express_packets > 0,
+            "{}: no packet was expressed between faults",
+            mechanism.name()
+        );
+        assert_eq!(
+            det_json(&on),
+            det_json(&off),
+            "{}: express diverged under link-stall/jitter faults",
+            mechanism.name()
+        );
+    }
+}
+
+/// Express under the intra-run parallel executor: 4 pooled workers with
+/// express on must match the serial express-off run (and hence the golden
+/// snapshot) for a contended and a low-contention workload.
+#[test]
+fn express_is_bit_identical_under_parallel_executor() {
+    for workload in [WorkloadId::Ssca2, WorkloadId::Intruder] {
+        for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+            let parallel_on = run_cell(workload, mechanism, |sys| {
+                sys.set_run_threads(4);
+                sys.set_noc_express(true);
+            });
+            let serial_off = run_cell(workload, mechanism, |sys| sys.set_noc_express(false));
+            assert_eq!(
+                det_json(&parallel_on),
+                det_json(&serial_off),
+                "{}/{}: express + 4 workers diverged from the serial express-off run",
+                workload.name(),
+                mechanism.name()
+            );
+            assert!(parallel_on.host.express_packets > 0);
+        }
+    }
+}
+
+/// Run the mechanism-neutral prefix under `prefix_express`, snapshot at the
+/// fork point, fork into a fresh cell running under `cell_express`.
+fn forked_run(
+    workload: WorkloadId,
+    mechanism: Mechanism,
+    prefix_express: bool,
+    cell_express: bool,
+) -> RunMetrics {
+    let params = workload.params().scaled(GOLDEN_SCALE);
+    let config = SystemConfig::paper(mechanism);
+    let programs = ProgramSet::generate(&params, config.nodes(), GOLDEN_SEED);
+    let mut runner = System::new_shared(config, &params, GOLDEN_SEED, &programs);
+    runner.set_noc_express(prefix_express);
+    let stop = runner.run_prefix(None).expect("prefix must not fail");
+    assert!(matches!(stop, PrefixStop::Armed { .. }));
+    let snap = runner.snapshot();
+    let mut sys = System::new_shared(config, &params, GOLDEN_SEED, &programs);
+    sys.fork_from(&snap, config);
+    sys.set_noc_express(cell_express);
+    sys.try_run_recycled().expect("forked cell completes")
+}
+
+/// Snapshot/restore/fork transparency: the express setting is a host
+/// execution strategy, not simulated state, so any (prefix, suffix)
+/// combination of on/off must reproduce the golden snapshot — including the
+/// mixed modes where the snapshot was taken by a system whose express flag
+/// differs from the forked cell's. An express-off suffix forked from an
+/// express-on prefix must also report zero express activity (the fork
+/// resets the counters inherited from the prefix's network).
+#[test]
+fn express_is_transparent_across_snapshot_fork_paths() {
+    for mechanism in [Mechanism::Baseline, Mechanism::Puno] {
+        let want = golden_json(WorkloadId::Ssca2, mechanism);
+        for (prefix_express, cell_express) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let m = forked_run(WorkloadId::Ssca2, mechanism, prefix_express, cell_express);
+            assert_eq!(
+                det_json(&m),
+                want,
+                "ssca2/{}: fork with prefix_express={prefix_express} \
+                 cell_express={cell_express} diverged from the golden snapshot",
+                mechanism.name()
+            );
+            if cell_express {
+                assert!(m.host.express_packets > 0);
+            } else {
+                assert_eq!(
+                    (m.host.express_packets, m.host.quiesced_cycles),
+                    (0, 0),
+                    "ssca2/{}: express-off suffix inherited prefix express counters",
+                    mechanism.name()
+                );
+            }
+        }
+    }
+}

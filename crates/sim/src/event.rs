@@ -57,6 +57,14 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Where the front event lives, so `pop` knows which store to drain.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FrontSource {
+    Bucket,
+    Heap,
+    Token,
+}
+
 /// Priority queue of simulation events with deterministic tie-breaking.
 #[derive(Clone)]
 pub struct EventQueue<E> {
@@ -69,6 +77,10 @@ pub struct EventQueue<E> {
     bucket_mask: u64,
     /// Total events across all buckets.
     bucket_len: usize,
+    /// Singleton retimable event (see [`EventQueue::schedule_token`]):
+    /// `(cycle, seq, payload)`. Competes with the stores above under the
+    /// same `(cycle, seq)` order; popped at most once per arming.
+    token: Option<(Cycle, u64, E)>,
     next_seq: u64,
     now: Cycle,
 }
@@ -96,6 +108,7 @@ impl<E> EventQueue<E> {
                 .collect(),
             bucket_mask: 0,
             bucket_len: 0,
+            token: None,
             next_seq: 0,
             now: 0,
         }
@@ -118,6 +131,7 @@ impl<E> EventQueue<E> {
         }
         self.bucket_mask = 0;
         self.bucket_len = 0;
+        self.token = None;
         self.next_seq = 0;
         self.now = 0;
     }
@@ -165,6 +179,65 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload);
     }
 
+    /// Arm the queue's singleton *token* event at cycle `at`.
+    ///
+    /// The token is an ordinary event for ordering purposes — it takes a
+    /// fresh seq number now and pops in exact `(cycle, seq)` order against
+    /// everything else — but it lives in a dedicated slot so it can later be
+    /// *retimed* ([`EventQueue::retime_token`]) without popping. The run
+    /// loop uses it for the per-cycle network step: quiescent stretches are
+    /// skipped by moving the token forward instead of popping a no-op per
+    /// cycle. At most one token may be armed at a time.
+    #[inline]
+    pub fn schedule_token(&mut self, at: Cycle, payload: E) {
+        debug_assert!(self.token.is_none(), "token already armed");
+        debug_assert!(
+            at >= self.now,
+            "token scheduled in the past: {at} < {}",
+            self.now
+        );
+        let cycle = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.token = Some((cycle, seq, payload));
+    }
+
+    /// Move the armed token to cycle `at`, keeping its payload but taking a
+    /// fresh seq number — exactly as if it had been popped (as a no-op) and
+    /// rescheduled at `at`. Panics in debug builds if no token is armed or
+    /// `at` is in the past.
+    #[inline]
+    pub fn retime_token(&mut self, at: Cycle) {
+        debug_assert!(
+            at >= self.now,
+            "token retimed into the past: {at} < {}",
+            self.now
+        );
+        let slot = self.token.as_mut().expect("retime_token with no token");
+        slot.0 = at.max(self.now);
+        slot.1 = self.next_seq;
+        self.next_seq += 1;
+    }
+
+    /// Cycle of the armed token, if any.
+    #[inline]
+    pub fn token_cycle(&self) -> Option<Cycle> {
+        self.token.as_ref().map(|(c, _, _)| *c)
+    }
+
+    /// Cycle of the earliest pending *non-token* event, if any — what the
+    /// queue front would be if the token were not armed. Used to pick the
+    /// token's fast-forward target during network quiescence.
+    #[inline]
+    pub fn peek_cycle_ignoring_token(&self) -> Option<Cycle> {
+        let bucket = self.front_bucket_cycle();
+        let heap = self.heap.peek().map(|e| e.cycle);
+        match (bucket, heap) {
+            (Some(b), Some(h)) => Some(b.min(h)),
+            (b, h) => b.or(h),
+        }
+    }
+
     /// Earliest bucket cycle `>= now`, if any bucket is occupied.
     #[inline]
     fn front_bucket_cycle(&self) -> Option<Cycle> {
@@ -177,9 +250,9 @@ impl<E> EventQueue<E> {
         Some(self.now + rot.trailing_zeros() as u64)
     }
 
-    /// `(cycle, seq)` of the earliest pending event, if any.
+    /// `(cycle, seq, source)` of the earliest pending event, if any.
     #[inline]
-    fn front_key(&self) -> Option<(Cycle, u64, bool)> {
+    fn front_key(&self) -> Option<(Cycle, u64, FrontSource)> {
         let bucket = self.front_bucket_cycle().map(|c| {
             let (seq, _) = self.buckets[(c % BUCKETS) as usize]
                 .front()
@@ -187,36 +260,51 @@ impl<E> EventQueue<E> {
             (c, *seq)
         });
         let heap = self.heap.peek().map(|e| (e.cycle, e.seq));
-        match (bucket, heap) {
+        let mut best = match (bucket, heap) {
             (Some((bc, bs)), Some((hc, hs))) => {
                 if (bc, bs) < (hc, hs) {
-                    Some((bc, bs, true))
+                    Some((bc, bs, FrontSource::Bucket))
                 } else {
-                    Some((hc, hs, false))
+                    Some((hc, hs, FrontSource::Heap))
                 }
             }
-            (Some((bc, bs)), None) => Some((bc, bs, true)),
-            (None, Some((hc, hs))) => Some((hc, hs, false)),
+            (Some((bc, bs)), None) => Some((bc, bs, FrontSource::Bucket)),
+            (None, Some((hc, hs))) => Some((hc, hs, FrontSource::Heap)),
             (None, None) => None,
+        };
+        if let Some((tc, ts, _)) = &self.token {
+            if best.is_none_or(|(c, s, _)| (*tc, *ts) < (c, s)) {
+                best = Some((*tc, *ts, FrontSource::Token));
+            }
+        }
+        best
+    }
+
+    /// Remove and return the front event from `source` (clock already
+    /// advanced to its cycle by the caller).
+    #[inline]
+    fn take_front(&mut self, cycle: Cycle, source: FrontSource) -> E {
+        match source {
+            FrontSource::Bucket => {
+                let idx = (cycle % BUCKETS) as usize;
+                let (_, payload) = self.buckets[idx].pop_front().expect("front bucket entry");
+                if self.buckets[idx].is_empty() {
+                    self.bucket_mask &= !(1 << idx);
+                }
+                self.bucket_len -= 1;
+                payload
+            }
+            FrontSource::Heap => self.heap.pop().expect("front heap entry").payload,
+            FrontSource::Token => self.token.take().expect("front token entry").2,
         }
     }
 
     /// Pop the earliest event, advancing the clock to its cycle.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let (cycle, _, from_bucket) = self.front_key()?;
+        let (cycle, _, source) = self.front_key()?;
         debug_assert!(cycle >= self.now);
         self.now = cycle;
-        let payload = if from_bucket {
-            let idx = (cycle % BUCKETS) as usize;
-            let (_, payload) = self.buckets[idx].pop_front().expect("front bucket entry");
-            if self.buckets[idx].is_empty() {
-                self.bucket_mask &= !(1 << idx);
-            }
-            self.bucket_len -= 1;
-            payload
-        } else {
-            self.heap.pop().expect("front heap entry").payload
-        };
+        let payload = self.take_front(cycle, source);
         Some((cycle, payload))
     }
 
@@ -231,21 +319,12 @@ impl<E> EventQueue<E> {
         out.clear();
         let (cycle, _, _) = self.front_key()?;
         self.now = cycle;
-        while let Some((c, _, from_bucket)) = self.front_key() {
+        while let Some((c, _, source)) = self.front_key() {
             if c != cycle {
                 break;
             }
-            if from_bucket {
-                let idx = (cycle % BUCKETS) as usize;
-                let (_, payload) = self.buckets[idx].pop_front().expect("front bucket entry");
-                if self.buckets[idx].is_empty() {
-                    self.bucket_mask &= !(1 << idx);
-                }
-                self.bucket_len -= 1;
-                out.push(payload);
-            } else {
-                out.push(self.heap.pop().expect("front heap entry").payload);
-            }
+            let payload = self.take_front(cycle, source);
+            out.push(payload);
         }
         Some(cycle)
     }
@@ -257,12 +336,12 @@ impl<E> EventQueue<E> {
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.bucket_len == 0 && self.heap.is_empty()
+        self.bucket_len == 0 && self.heap.is_empty() && self.token.is_none()
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.bucket_len + self.heap.len()
+        self.bucket_len + self.heap.len() + usize::from(self.token.is_some())
     }
 }
 
@@ -422,6 +501,86 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn token_pops_in_cycle_seq_order_against_bucket_and_heap() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "bucket-before"); // seq 0
+        q.schedule_token(5, "token"); // seq 1
+        q.schedule_at(5, "bucket-after"); // seq 2
+        q.schedule_at(500, "heap"); // seq 3, far -> heap
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((5, "bucket-before")));
+        assert_eq!(q.pop(), Some((5, "token")));
+        assert_eq!(q.token_cycle(), None, "popped token disarms the slot");
+        assert_eq!(q.pop(), Some((5, "bucket-after")));
+        assert_eq!(q.pop(), Some((500, "heap")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn token_alone_pops_and_can_be_rearmed() {
+        let mut q = EventQueue::new();
+        q.schedule_token(3, 30u32);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_cycle(), Some(3));
+        assert_eq!(q.pop(), Some((3, 30)));
+        assert!(q.is_empty());
+        q.schedule_token(4, 40);
+        assert_eq!(q.pop(), Some((4, 40)));
+    }
+
+    #[test]
+    fn retimed_token_orders_like_a_fresh_schedule() {
+        // Retiming must behave exactly as pop-and-reschedule: fresh seq, so
+        // the token lands *after* events already queued for the new cycle
+        // and *before* anything scheduled later.
+        let mut q = EventQueue::new();
+        q.schedule_token(1, "token");
+        q.schedule_at(9, "early"); // seq 1, before the retime
+        q.retime_token(9); // seq 2
+        q.schedule_at(9, "late"); // seq 3
+        assert_eq!(q.pop(), Some((9, "early")));
+        assert_eq!(q.pop(), Some((9, "token")));
+        assert_eq!(q.pop(), Some((9, "late")));
+    }
+
+    #[test]
+    fn pop_cycle_into_includes_the_token() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, 1u32);
+        q.schedule_token(7, 2);
+        q.schedule_at(7, 3);
+        q.schedule_at(8, 4);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_cycle_into(&mut out), Some(7));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(q.pop_cycle_into(&mut out), Some(8));
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn peek_cycle_ignoring_token_skips_only_the_token() {
+        let mut q = EventQueue::<u32>::new();
+        q.schedule_token(2, 0);
+        assert_eq!(q.peek_cycle(), Some(2));
+        assert_eq!(q.peek_cycle_ignoring_token(), None);
+        q.schedule_at(10, 1);
+        q.schedule_at(300, 2); // far -> heap
+        assert_eq!(q.peek_cycle_ignoring_token(), Some(10));
+        assert_eq!(q.peek_cycle(), Some(2));
+    }
+
+    #[test]
+    fn reset_and_clone_carry_the_token_state() {
+        let mut q = EventQueue::new();
+        q.schedule_token(6, "t");
+        let mut cloned = q.clone();
+        assert_eq!(cloned.pop(), Some((6, "t")));
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.token_cycle(), None);
     }
 
     #[test]
