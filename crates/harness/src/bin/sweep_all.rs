@@ -1,7 +1,7 @@
 //! Full 8-workload x 4-mechanism sweep with the figure-shaped summaries.
 //! Usage: sweep_all [scale] [seed] [--filter <workload|mechanism|workload:mechanism>]
 //!                  [--trace <workload>:<mechanism>] [--mesh <4|8|16>]
-//!                  [--compact-cache]
+//!                  [--compact-cache] [--json <path|->]
 //!
 //! `--filter` restricts the grid: an argument matching a workload name
 //! (substring, case-insensitive) keeps only those workloads; one matching a
@@ -24,6 +24,14 @@
 //! so big-mesh runs print the raw per-cell summary and host-perf section
 //! only. Combine with `PUNO_RUN_THREADS` to parallelize the big cells.
 //!
+//! `--json <path>` additionally writes one machine-readable JSON row per
+//! swept cell (the warehouse row schema — see
+//! `puno_harness::warehouse::WarehouseRow`) as JSONL; `--json -` prints the
+//! rows to stdout *instead of* the human report. Live observability (the
+//! Prometheus endpoint, progress heartbeat, and warehouse sink) is armed
+//! from the environment: see `PUNO_METRICS_ADDR`, `PUNO_PROGRESS`, and
+//! `PUNO_WAREHOUSE` in README.md.
+//!
 //! `--trace` re-runs exactly one cell with full tracing and telemetry
 //! instead of sweeping: the JSONL event stream goes to `PUNO_TRACE_OUT`
 //! (default: `trace_<workload>_<mechanism>_s<seed>.jsonl` in the current
@@ -38,8 +46,8 @@
 //! `PUNO_PREFIX_FORK=0` to trace from cycle 0.
 
 use puno_harness::report::{render_host_perf, render_quarantine, FigureMetric, NormalizedFigure};
-use puno_harness::sweep::{try_sweep, CellOutcome, SweepOptions};
-use puno_harness::{Mechanism, SweepResult, System, SystemConfig, TelemetryConfig};
+use puno_harness::sweep::{try_sweep_rows, CellOutcome, SweepOptions};
+use puno_harness::{Mechanism, SweepResult, System, SystemConfig, TelemetryConfig, WarehouseRow};
 use puno_workloads::{table1_rows, WorkloadId};
 use std::path::PathBuf;
 
@@ -56,6 +64,9 @@ struct Args {
     mesh: u32,
     /// Compact the result cache and exit instead of sweeping.
     compact_cache: bool,
+    /// `--json` destination: a path, or `-` for stdout (which then replaces
+    /// the human report).
+    json: Option<String>,
 }
 
 impl Args {
@@ -88,10 +99,17 @@ fn parse_args() -> Args {
     let mut trace = None;
     let mut mesh = 4u32;
     let mut compact_cache = false;
+    let mut json = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         if arg == "--compact-cache" {
             compact_cache = true;
+        } else if arg == "--json" {
+            let Some(value) = argv.next() else {
+                eprintln!("--json requires a destination path (or - for stdout)");
+                std::process::exit(2);
+            };
+            json = Some(value);
         } else if arg == "--mesh" {
             let parsed = argv.next().and_then(|v| v.trim().parse::<u32>().ok());
             match parsed {
@@ -182,6 +200,25 @@ fn parse_args() -> Args {
         trace,
         mesh,
         compact_cache,
+        json,
+    }
+}
+
+/// `--json` mode: dump one warehouse-schema row per swept cell as JSONL to
+/// `dest` (`-` = stdout).
+fn write_json_rows(dest: &str, rows: &[WarehouseRow]) {
+    let mut out = String::with_capacity(rows.len() * 256);
+    for row in rows {
+        out.push_str(&serde_json::to_string(row).expect("warehouse row must serialize"));
+        out.push('\n');
+    }
+    if dest == "-" {
+        print!("{out}");
+    } else if let Err(e) = std::fs::write(dest, &out) {
+        eprintln!("cannot write --json output {dest}: {e}");
+        std::process::exit(2);
+    } else {
+        eprintln!("wrote {} cell row(s) to {dest}", rows.len());
     }
 }
 
@@ -280,6 +317,16 @@ fn print_cache_stats() {
                 s.corrupt_skipped, s.stale_skipped
             );
         }
+        // Surface the silent open-time maintenance: when recovery found
+        // skippable records, the cache compacts the persisted file in
+        // place — report what that dropped instead of hiding it.
+        if let Some(c) = cache.last_compact() {
+            eprintln!(
+                "result cache maintenance: compacted to {} record(s); dropped {} corrupt, \
+                 {} stale, {} duplicate",
+                c.kept, c.dropped_corrupt, c.dropped_stale, c.dropped_duplicate
+            );
+        }
     }
 }
 
@@ -315,6 +362,7 @@ fn run_pair_cells(args: &Args) {
     let mut opts = SweepOptions::new(args.seed, args.scale);
     opts.config = args.config_fn();
     let mut outcomes: Vec<CellOutcome> = Vec::new();
+    let mut rows: Vec<WarehouseRow> = Vec::new();
     let mut seen: Vec<WorkloadId> = Vec::new();
     for &(wl, _) in &args.pairs {
         if seen.contains(&wl) {
@@ -327,7 +375,9 @@ fn run_pair_cells(args: &Args) {
             .filter(|&&(w, _)| w == wl)
             .map(|&(_, m)| m)
             .collect();
-        outcomes.extend(try_sweep(&[wl], &mechs, &opts));
+        let (group_outcomes, group_rows) = try_sweep_rows(&[wl], &mechs, &opts);
+        outcomes.extend(group_outcomes);
+        rows.extend(group_rows);
     }
     eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
     let results: Vec<SweepResult> = outcomes
@@ -342,6 +392,15 @@ fn run_pair_cells(args: &Args) {
         })
         .collect();
     print_cache_stats();
+    if let Some(dest) = &args.json {
+        write_json_rows(dest, &rows);
+        if dest == "-" {
+            if render_quarantine(&outcomes).is_some() {
+                std::process::exit(1);
+            }
+            return;
+        }
+    }
     println!(
         "== cell sweep ({} selected cell(s), seed {}, scale {}) ==",
         args.pairs.len(),
@@ -367,6 +426,9 @@ fn run_pair_cells(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    // Arm the observability layer (metrics endpoint, heartbeat, warehouse)
+    // before any simulation starts so a scraper sees the sweep from cell 0.
+    puno_harness::obs::init_from_env();
     if args.compact_cache {
         run_compact_cache();
     }
@@ -381,7 +443,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut opts = SweepOptions::new(args.seed, args.scale);
     opts.config = args.config_fn();
-    let outcomes = try_sweep(&args.workloads, &args.mechanisms, &opts);
+    let (outcomes, rows) = try_sweep_rows(&args.workloads, &args.mechanisms, &opts);
     eprintln!("sweep took {:.1}s", t0.elapsed().as_secs_f64());
     let results: Vec<SweepResult> = outcomes
         .iter()
@@ -407,6 +469,15 @@ fn main() {
         });
     }
     print_cache_stats();
+    if let Some(dest) = &args.json {
+        write_json_rows(dest, &rows);
+        if dest == "-" {
+            if quarantine.is_some() {
+                std::process::exit(1);
+            }
+            return;
+        }
+    }
 
     // Table I bands and the baseline-normalized figures are calibrated
     // against the 4x4 paper machine; big-mesh sweeps print a raw per-cell

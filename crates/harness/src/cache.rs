@@ -226,6 +226,10 @@ pub struct ResultCache {
     stores: AtomicU64,
     corrupt_skipped: u64,
     stale_skipped: u64,
+    /// What the most recent [`ResultCache::compact`] on this handle did —
+    /// kept so the sweep report and the metrics registry can surface
+    /// maintenance that previously only flashed by on stderr.
+    last_compact: Mutex<Option<CompactStats>>,
 }
 
 impl ResultCache {
@@ -272,6 +276,7 @@ impl ResultCache {
             stores: AtomicU64::new(0),
             corrupt_skipped,
             stale_skipped,
+            last_compact: Mutex::new(None),
         })
     }
 
@@ -381,7 +386,16 @@ impl ResultCache {
         for rec in kept {
             entries.insert(rec.digest, rec.metrics);
         }
+        *self.last_compact.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
         Ok(stats)
+    }
+
+    /// What the most recent [`ResultCache::compact`] on this handle did
+    /// (`None` if it never ran). The compaction performed at open by
+    /// `PUNO_RESULT_CACHE_COMPACT` lands here too, so a sweep can report
+    /// maintenance it did not itself trigger.
+    pub fn last_compact(&self) -> Option<CompactStats> {
+        *self.last_compact.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Fold the persisted cost observations into a [`CostModel`].

@@ -16,6 +16,7 @@ pub mod mechanism;
 pub mod memory;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod oracle;
 pub mod report;
 pub mod run;
@@ -24,6 +25,7 @@ pub mod sweep;
 pub mod system;
 pub mod telemetry;
 pub mod tracefmt;
+pub mod warehouse;
 
 pub use cache::{
     cell_digest, global_cache, prefix_digest, CostModel, ResultCache, ENGINE_VERSION,
@@ -34,8 +36,10 @@ pub use error::RunError;
 pub use mechanism::Mechanism;
 pub use memory::MemoryImage;
 pub use metrics::{HostPerf, RunMetrics};
+pub use obs::MetricsRegistry;
 pub use oracle::FalseAbortOracle;
 pub use run::{run_workload, run_workload_with_faults, try_run_workload};
 pub use sweep::{sweep, RetryPolicy, SweepResult};
 pub use system::{fork_compatible, PrefixStop, System, SystemSnapshot};
 pub use telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
+pub use warehouse::{Warehouse, WarehouseRow};

@@ -5,7 +5,7 @@ use crate::oracle::FalseAbortOracle;
 use crate::telemetry::TelemetryReport;
 use puno_coherence::DirStats;
 use puno_core::PunoStats;
-use puno_htm::HtmStats;
+use puno_htm::{AbortCause, HtmStats};
 use puno_noc::TrafficStats;
 use puno_sim::FaultStats;
 use serde::{Deserialize, Serialize};
@@ -176,6 +176,19 @@ impl RunMetrics {
     /// Mean directory blocking cycles per transactional GETX (Figure 12).
     pub fn dir_blocking_per_tx_getx(&self) -> f64 {
         self.dir.blocking_cycles_tx_getx.mean()
+    }
+
+    /// Nonzero abort causes with their counts, in [`AbortCause::ALL`]
+    /// order — the blame breakdown the warehouse sink records per cell and
+    /// the paper's false-abort analysis compares on.
+    pub fn abort_blame(&self) -> Vec<(AbortCause, u64)> {
+        AbortCause::ALL
+            .iter()
+            .filter_map(|&cause| {
+                let count = self.htm.aborts_for(cause);
+                (count > 0).then_some((cause, count))
+            })
+            .collect()
     }
 }
 

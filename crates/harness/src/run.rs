@@ -42,6 +42,7 @@ pub fn env_tracer(workload: &str, mechanism: &str, seed: u64) -> Option<Tracer> 
 
 /// Apply the env-var tracing configuration to a freshly built system.
 fn install_env_tracer(sys: &mut System, params: &WorkloadParams, seed: u64) {
+    crate::obs::init_from_env();
     if let Some(tracer) = env_tracer(&params.name, sys.mechanism().name(), seed) {
         sys.install_tracer(tracer);
     }

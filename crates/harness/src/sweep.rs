@@ -13,7 +13,9 @@
 use crate::cache::{cell_digest, global_cache, CostRecord, ResultCache};
 use crate::error::RunError;
 use crate::metrics::RunMetrics;
+use crate::obs;
 use crate::system::{System, SystemSnapshot};
+use crate::warehouse::{self, WarehouseRow};
 use crate::{Mechanism, SystemConfig};
 use puno_sim::FaultPlan;
 use puno_workloads::{params_digest, ProgramSet, WorkloadId, WorkloadParams};
@@ -23,7 +25,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// One sweep cell: the workload, the mechanism, and the run result.
 #[derive(Clone, Debug)]
@@ -295,6 +297,18 @@ pub fn try_sweep(
     mechanisms: &[Mechanism],
     opts: &SweepOptions,
 ) -> Vec<CellOutcome> {
+    try_sweep_rows(workloads, mechanisms, opts).0
+}
+
+/// [`try_sweep`] additionally returning one flattened [`WarehouseRow`] per
+/// cell (deterministic cell order, same `run_id` for the whole sweep) —
+/// what `sweep_all --json` emits and what the `PUNO_WAREHOUSE` sink
+/// records.
+pub fn try_sweep_rows(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    opts: &SweepOptions,
+) -> (Vec<CellOutcome>, Vec<WarehouseRow>) {
     let programs: Mutex<HashMap<(u64, u64), Arc<ProgramSet>>> = Mutex::new(HashMap::new());
     // Prefix-fork pool, one slot per `prefix_digest` group. Sweep-local —
     // never process-global — because the snapshot bakes in this sweep's
@@ -306,7 +320,7 @@ pub fn try_sweep(
     // Fault plans perturb simulated behaviour, so those runs are neither
     // served from nor stored into the cache.
     let cacheable = opts.fault_plan.is_empty();
-    try_sweep_with(
+    try_sweep_with_rows(
         workloads,
         mechanisms,
         opts,
@@ -317,6 +331,7 @@ pub fn try_sweep(
             if cacheable {
                 if let Some(cache) = &cache {
                     if let Some(metrics) = cache.lookup(digest) {
+                        obs::note_cache_hit();
                         return Ok(metrics);
                     }
                 }
@@ -461,6 +476,30 @@ pub fn try_sweep_with<F>(
 where
     F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
 {
+    try_sweep_with_rows(workloads, mechanisms, opts, runner).0
+}
+
+/// [`try_sweep_with`] additionally returning one [`WarehouseRow`] per cell.
+/// Also the home of the live-observability publication: with the registry
+/// enabled (see [`crate::obs`]) the sweep publishes cells started/
+/// completed/cache-hit/retry counters, per-worker busy gauges, done/total
+/// progress gauges, and a cell wall-clock histogram *while running*; with
+/// `PUNO_PROGRESS` set it additionally prints a throttled stderr heartbeat
+/// whose ETA comes from the same LPT cost estimates that order the job
+/// queue; with `PUNO_WAREHOUSE` set the rows are appended to the cross-run
+/// warehouse. All of it is host-side only — cell outcomes are bit-identical
+/// with every sink on or off.
+pub fn try_sweep_with_rows<F>(
+    workloads: &[WorkloadId],
+    mechanisms: &[Mechanism],
+    opts: &SweepOptions,
+    runner: F,
+) -> (Vec<CellOutcome>, Vec<WarehouseRow>)
+where
+    F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
+{
+    obs::init_from_env();
+    let registry = obs::global();
     let cells: Vec<(CellKey, WorkloadParams)> = workloads
         .iter()
         .flat_map(|&w| {
@@ -529,29 +568,82 @@ where
         )
     });
 
-    let done: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let done: Mutex<Vec<(usize, CellOutcome, bool)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let started = std::sync::atomic::AtomicUsize::new(0);
     let threads = effective_workers(jobs.len());
 
+    // Registered up front so a scrape early in the sweep already sees every
+    // family; `None` (the default) keeps every publish site to one branch.
+    let sweep_obs = registry.map(|reg| SweepObs::new(reg, cells.len(), jobs.len()));
+    let heartbeat = obs::env_progress().map(|interval| Heartbeat {
+        interval,
+        alive: Mutex::new(threads),
+        cv: Condvar::new(),
+    });
+    let job_weight_total: f64 = jobs.iter().map(|&i| estimates[i]).sum();
+    let resumed_count = cells.len() - jobs.len();
+    let sweep_start = std::time::Instant::now();
+
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
+        let (jobs, cells, done, next, started) = (&jobs, &cells, &done, &next, &started);
+        let (runner, checkpoint_file, retry) = (&runner, &checkpoint_file, &opts.retry);
+        let (sweep_obs, heartbeat, estimates) =
+            (sweep_obs.as_ref(), heartbeat.as_ref(), &estimates);
+        for w in 0..threads {
+            s.spawn(move || {
+                obs::set_worker(&format!("s{w}"));
+                let busy = sweep_obs.map(|o| o.worker_busy(w));
+                loop {
+                    let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if j >= jobs.len() {
+                        break;
+                    }
+                    let i = jobs[j];
+                    let (key, ref params) = cells[i];
+                    started.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if let Some(o) = sweep_obs {
+                        o.cells_started.inc();
+                    }
+                    if let Some(b) = &busy {
+                        b.set(1.0);
+                    }
+                    let t0 = std::time::Instant::now();
+                    let outcome =
+                        run_cell(runner, key, params, retry, sweep_obs.map(|o| &o.retries));
+                    let cache_hit = obs::take_cache_hit();
+                    if let Some(o) = sweep_obs {
+                        o.observe_outcome(&outcome, cache_hit, t0.elapsed().as_secs_f64());
+                    }
+                    if let Some(b) = &busy {
+                        b.set(0.0);
+                    }
+                    if let Some(file) = &checkpoint_file {
+                        let line = serde_json::to_string(&outcome)
+                            .expect("sweep cell outcome must serialize");
+                        let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
+                        let _ = writeln!(f, "{line}");
+                    }
+                    done.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, outcome, cache_hit));
                 }
-                let i = jobs[j];
-                let (key, ref params) = cells[i];
-                let outcome = run_cell(&runner, key, params, &opts.retry);
-                if let Some(file) = &checkpoint_file {
-                    let line =
-                        serde_json::to_string(&outcome).expect("sweep cell outcome must serialize");
-                    let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
-                    let _ = writeln!(f, "{line}");
+                if let Some(hb) = heartbeat {
+                    hb.worker_done();
                 }
-                done.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((i, outcome));
+            });
+        }
+        if let Some(hb) = heartbeat {
+            s.spawn(move || {
+                hb.run(
+                    sweep_start,
+                    resumed_count,
+                    cells.len(),
+                    job_weight_total,
+                    started,
+                    done,
+                    estimates,
+                );
             });
         }
     });
@@ -559,7 +651,9 @@ where
     // Feed observed wall-clocks back into the persisted cost model (only
     // cells that actually ran this sweep; resumed cells are skipped).
     let mut cost_records: Vec<CostRecord> = Vec::new();
-    for (i, outcome) in done.into_inner().unwrap_or_else(|e| e.into_inner()) {
+    let mut cache_hits = vec![false; cells.len()];
+    for (i, outcome, cache_hit) in done.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        cache_hits[i] = cache_hit;
         if let CellOutcome::Ok { key, metrics } = &outcome {
             if metrics.host.wall_secs > 0.0 {
                 cost_records.push(CostRecord {
@@ -576,7 +670,7 @@ where
         cache.append_costs(&cost_records);
     }
 
-    slots
+    let outcomes: Vec<CellOutcome> = slots
         .into_iter()
         .map(|s| {
             let mut outcome = s.expect("every sweep cell resolved");
@@ -590,7 +684,313 @@ where
             }
             outcome
         })
-        .collect()
+        .collect();
+
+    // Flatten every cell into a warehouse row (deterministic order, one
+    // run_id for the whole sweep) and record them when the sink is on.
+    let recorded_unix = warehouse::unix_now();
+    let run_id = warehouse::run_id_from_env(recorded_unix);
+    let rows: Vec<WarehouseRow> = outcomes
+        .iter()
+        .zip(cells.iter())
+        .enumerate()
+        .map(|(i, (outcome, (key, params)))| {
+            let digest = cell_digest(&(opts.config)(key.mechanism), params, key.seed);
+            match outcome {
+                CellOutcome::Ok { metrics, .. } => WarehouseRow::from_metrics(
+                    &run_id,
+                    recorded_unix,
+                    digest,
+                    "ok",
+                    cache_hits[i],
+                    metrics,
+                ),
+                CellOutcome::Err { .. } | CellOutcome::Quarantined { .. } => {
+                    WarehouseRow::placeholder(
+                        &run_id,
+                        recorded_unix,
+                        digest,
+                        key.workload.name(),
+                        key.mechanism.name(),
+                        key.seed,
+                        if outcome.is_quarantined() {
+                            "quarantined"
+                        } else {
+                            "err"
+                        },
+                    )
+                }
+            }
+        })
+        .collect();
+    if let Some(dir) = warehouse::env_warehouse() {
+        let appended = warehouse::Warehouse::open(&dir).and_then(|wh| wh.append(&rows));
+        match appended {
+            Ok(()) => {
+                if let Some(o) = &sweep_obs {
+                    o.warehouse_rows.add(rows.len() as u64);
+                }
+            }
+            Err(e) => eprintln!(
+                "warning: PUNO_WAREHOUSE={} unusable ({e}); rows not recorded",
+                dir.display()
+            ),
+        }
+    }
+
+    // Surface the result cache's maintenance history (corrupt/stale skips
+    // at open, last compaction) through the registry — previously these
+    // totals were only visible on stderr at open time.
+    if let (Some(reg), Some(cache)) = (registry, opts.result_cache.as_deref()) {
+        publish_cache_stats(reg, cache);
+    }
+
+    (outcomes, rows)
+}
+
+/// The sweep driver's registered metric families (see [`crate::obs`]).
+struct SweepObs {
+    registry: &'static obs::MetricsRegistry,
+    cells_started: obs::Counter,
+    done_ok: obs::Counter,
+    done_err: obs::Counter,
+    done_quarantined: obs::Counter,
+    cache_hits: obs::Counter,
+    retries: obs::Counter,
+    warehouse_rows: obs::Counter,
+    prefix_forks: obs::Counter,
+    express_packets: obs::Counter,
+    quiesced_cycles: obs::Counter,
+    cells_total: obs::Gauge,
+    cells_done: obs::Gauge,
+    cell_wall: obs::Histogram,
+}
+
+impl SweepObs {
+    fn new(registry: &'static obs::MetricsRegistry, total: usize, jobs: usize) -> Self {
+        let outcome_counter = |outcome: &str| {
+            registry.counter(
+                "puno_sweep_cells_completed_total",
+                "Sweep cells finished, by outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        let o = Self {
+            registry,
+            cells_started: registry.counter(
+                "puno_sweep_cells_started_total",
+                "Sweep cells handed to a worker (attempt 1).",
+                &[],
+            ),
+            done_ok: outcome_counter("ok"),
+            done_err: outcome_counter("err"),
+            done_quarantined: outcome_counter("quarantined"),
+            cache_hits: registry.counter(
+                "puno_sweep_cache_hits_total",
+                "Sweep cells replayed from the result cache without simulating.",
+                &[],
+            ),
+            retries: registry.counter(
+                "puno_sweep_cell_retries_total",
+                "Escalating (traced, snapshot-armed) cell retry attempts.",
+                &[],
+            ),
+            warehouse_rows: registry.counter(
+                "puno_warehouse_rows_total",
+                "Rows appended to the PUNO_WAREHOUSE result warehouse.",
+                &[],
+            ),
+            prefix_forks: registry.counter(
+                "puno_prefix_forks_total",
+                "Cells materialized by forking a shared mechanism-neutral prefix.",
+                &[],
+            ),
+            express_packets: registry.counter(
+                "puno_express_packets_total",
+                "NoC packets delivered over the contention-free express path.",
+                &[],
+            ),
+            quiesced_cycles: registry.counter(
+                "puno_express_quiesced_cycles_total",
+                "Simulated cycles skipped by express-flight quiescence.",
+                &[],
+            ),
+            cells_total: registry.gauge(
+                "puno_sweep_cells",
+                "Cells in the current sweep grid (resumed cells included).",
+                &[],
+            ),
+            cells_done: registry.gauge(
+                "puno_sweep_cells_done",
+                "Cells resolved so far (resumed cells included).",
+                &[],
+            ),
+            cell_wall: registry.histogram(
+                "puno_sweep_cell_wall_seconds",
+                "Wall-clock per resolved sweep cell (cache hits included).",
+                &[],
+                &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0],
+            ),
+        };
+        o.cells_total.set(total as f64);
+        o.cells_done.set((total - jobs) as f64);
+        o
+    }
+
+    fn worker_busy(&self, w: usize) -> obs::Gauge {
+        let label = format!("s{w}");
+        self.registry.gauge(
+            "puno_sweep_worker_busy",
+            "1 while this sweep worker is running a cell, else 0.",
+            &[("worker", label.as_str())],
+        )
+    }
+
+    fn observe_outcome(&self, outcome: &CellOutcome, cache_hit: bool, wall_secs: f64) {
+        match outcome {
+            CellOutcome::Ok { metrics, .. } => {
+                self.done_ok.inc();
+                self.prefix_forks.add(metrics.host.prefix_forks);
+                self.express_packets.add(metrics.host.express_packets);
+                self.quiesced_cycles.add(metrics.host.quiesced_cycles);
+            }
+            CellOutcome::Err { .. } => self.done_err.inc(),
+            CellOutcome::Quarantined { .. } => self.done_quarantined.inc(),
+        }
+        if cache_hit {
+            self.cache_hits.inc();
+        }
+        self.cells_done.add(1.0);
+        self.cell_wall.observe(wall_secs);
+    }
+}
+
+/// Publish the result cache's hit/skip/compaction totals as gauges (set,
+/// not added — the cache is process-wide and its stats are cumulative, so
+/// repeated sweeps republish the current totals idempotently).
+fn publish_cache_stats(registry: &obs::MetricsRegistry, cache: &ResultCache) {
+    let set = |name: &str, help: &str, v: f64| registry.gauge(name, help, &[]).set(v);
+    let s = cache.stats();
+    set(
+        "puno_cache_entries",
+        "Live records in the result cache.",
+        s.entries as f64,
+    );
+    set(
+        "puno_cache_hits",
+        "Result-cache lookups served from memory.",
+        s.hits as f64,
+    );
+    set(
+        "puno_cache_misses",
+        "Result-cache lookups that missed.",
+        s.misses as f64,
+    );
+    set(
+        "puno_cache_stores",
+        "Fresh results appended to the cache.",
+        s.stores as f64,
+    );
+    set(
+        "puno_cache_corrupt_skipped",
+        "Corrupt (torn or checksum-failed) records skipped at cache open.",
+        s.corrupt_skipped as f64,
+    );
+    set(
+        "puno_cache_stale_skipped",
+        "Stale-engine-version records skipped at cache open.",
+        s.stale_skipped as f64,
+    );
+    if let Some(c) = cache.last_compact() {
+        set(
+            "puno_cache_compact_kept",
+            "Records kept by the most recent cache compaction.",
+            c.kept as f64,
+        );
+        set(
+            "puno_cache_compact_dropped_corrupt",
+            "Corrupt lines dropped by the most recent cache compaction.",
+            c.dropped_corrupt as f64,
+        );
+        set(
+            "puno_cache_compact_dropped_stale",
+            "Stale records dropped by the most recent cache compaction.",
+            c.dropped_stale as f64,
+        );
+        set(
+            "puno_cache_compact_dropped_duplicate",
+            "Superseded duplicates dropped by the most recent cache compaction.",
+            c.dropped_duplicate as f64,
+        );
+    }
+}
+
+/// The sweep's stderr progress sink: a dedicated thread beating every
+/// `interval` until the last worker signals, with an ETA extrapolated from
+/// the LPT cost estimates (work-weighted, so a long straggler cell keeps
+/// the ETA honest where a plain cells/second rate would not).
+struct Heartbeat {
+    interval: std::time::Duration,
+    /// Workers still running; the last one out notifies the condvar.
+    alive: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Heartbeat {
+    fn worker_done(&self) {
+        let mut alive = self.alive.lock().unwrap_or_else(|e| e.into_inner());
+        *alive = alive.saturating_sub(1);
+        if *alive == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        start: std::time::Instant,
+        resumed: usize,
+        total: usize,
+        job_weight_total: f64,
+        started: &std::sync::atomic::AtomicUsize,
+        done: &Mutex<Vec<(usize, CellOutcome, bool)>>,
+        estimates: &[f64],
+    ) {
+        loop {
+            let finished = {
+                let alive = self.alive.lock().unwrap_or_else(|e| e.into_inner());
+                if *alive == 0 {
+                    true
+                } else {
+                    let (alive, _) = self
+                        .cv
+                        .wait_timeout(alive, self.interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    *alive == 0
+                }
+            };
+            let (finished_jobs, done_weight) = {
+                let d = done.lock().unwrap_or_else(|e| e.into_inner());
+                (
+                    d.len(),
+                    d.iter().map(|(i, _, _)| estimates[*i]).sum::<f64>(),
+                )
+            };
+            let running = started
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .saturating_sub(finished_jobs);
+            let elapsed = start.elapsed().as_secs_f64();
+            let eta = (done_weight > 0.0 && elapsed > 0.0)
+                .then(|| (job_weight_total - done_weight).max(0.0) * elapsed / done_weight);
+            eprintln!(
+                "{}",
+                obs::render_heartbeat(resumed + finished_jobs, total, running, elapsed, eta)
+            );
+            if finished {
+                return;
+            }
+        }
+    }
 }
 
 /// Effective sweep worker count — the single place it is decided.
@@ -630,6 +1030,7 @@ fn run_cell<F>(
     key: CellKey,
     params: &WorkloadParams,
     policy: &RetryPolicy,
+    obs_retries: Option<&obs::Counter>,
 ) -> CellOutcome
 where
     F: Fn(Mechanism, &WorkloadParams, u64, bool) -> Result<RunMetrics, RunError> + Sync,
@@ -662,6 +1063,9 @@ where
                     attempts,
                 }
             };
+        }
+        if let Some(counter) = obs_retries {
+            counter.inc();
         }
         let delay = policy.backoff(attempts + 1, key.seed);
         if !delay.is_zero() {

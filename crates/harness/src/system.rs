@@ -276,6 +276,18 @@ pub struct System {
     /// Scratch for the wave scanner's duplicate-wake cut (kept all-false
     /// between scans).
     wave_seen: Vec<bool>,
+    /// Live-observability sampling interval override (see
+    /// [`System::set_obs_sample_every`]). `None` = read
+    /// `PUNO_OBS_SAMPLE_CYCLES` when the global registry is enabled;
+    /// `Some(0)` = force off; `Some(n)` = sample every `n` cycles.
+    /// Host-side only: not part of `SystemConfig` or snapshots.
+    obs_sample_every: Option<Cycle>,
+    /// Active per-run metrics sampler, armed by `run_loop` when the global
+    /// registry is enabled. Publishes sim-cycle/event totals and rates;
+    /// never touches simulated state, so it is excluded from snapshots and
+    /// never re-armed during forensic replay (`rewind_and_dump` drives
+    /// `run_loop_inner` directly).
+    obs_sampler: Option<Box<crate::obs::RunSampler>>,
 }
 
 impl System {
@@ -395,6 +407,8 @@ impl System {
             par_busy_ns: 0,
             par_span_ns: 0,
             wave_seen: vec![false; nodes_n as usize],
+            obs_sample_every: None,
+            obs_sampler: None,
             config,
         }
     }
@@ -508,6 +522,8 @@ impl System {
         self.par_busy_ns = 0;
         self.par_span_ns = 0;
         self.wave_seen.fill(false);
+        self.obs_sample_every = None;
+        self.obs_sampler = None;
         self.config = config;
     }
 
@@ -546,6 +562,8 @@ impl System {
         self.par_busy_ns = 0;
         self.par_span_ns = 0;
         self.wave_seen.fill(false);
+        self.obs_sample_every = None;
+        self.obs_sampler = None;
         true
     }
 
@@ -793,6 +811,17 @@ impl System {
         self.snapshot_every = every;
         self.snapshot_ring.clear();
         self.next_snapshot_at = self.last_cycle.saturating_add(every.max(1));
+    }
+
+    /// Override the live-metrics sampling interval for subsequent runs:
+    /// `0` forces sampling off even when the registry is enabled; `n > 0`
+    /// samples every `n` cycles regardless of `PUNO_OBS_SAMPLE_CYCLES`.
+    /// Without an override, runs read the env var (default
+    /// [`crate::obs::DEFAULT_SAMPLE_CYCLES`]). Sampling only ever reads
+    /// host-side counters; `RunMetrics::deterministic()` is bit-identical
+    /// with it on or off.
+    pub fn set_obs_sample_every(&mut self, every: Cycle) {
+        self.obs_sample_every = Some(every);
     }
 
     /// Snapshots currently retained by the ring (diagnostics/tests).
@@ -1124,12 +1153,38 @@ impl System {
 
     fn run_loop(&mut self) -> Result<(), RunError> {
         let t0 = std::time::Instant::now();
+        self.arm_obs_sampler();
         let mut result = self.run_loop_inner();
         if let Err(original) = result {
             result = Err(self.rewind_and_dump(original));
         }
+        if let Some(mut sampler) = self.obs_sampler.take() {
+            sampler.finish(self.last_cycle, self.events_dispatched);
+        }
         self.host_wall_secs += t0.elapsed().as_secs_f64();
         result
+    }
+
+    /// Arm the live-metrics sampler for this run, if the global registry
+    /// is enabled (see [`crate::obs`]). A disabled registry costs exactly
+    /// one relaxed atomic load here and nothing in the hot loop.
+    fn arm_obs_sampler(&mut self) {
+        self.obs_sampler = None;
+        let Some(registry) = crate::obs::global() else {
+            return;
+        };
+        let every = self
+            .obs_sample_every
+            .unwrap_or_else(crate::obs::env_sample_every);
+        if every == 0 {
+            return;
+        }
+        self.obs_sampler = Some(Box::new(crate::obs::RunSampler::new(
+            registry,
+            every,
+            self.last_cycle,
+            self.events_dispatched,
+        )));
     }
 
     /// Dispatch to the serial hot loop or, with [`System::set_run_threads`]
@@ -1196,6 +1251,13 @@ impl System {
             // them. Capturing between events cannot perturb behaviour.
             if self.snapshot_every > 0 && now >= self.next_snapshot_at {
                 self.capture_ring_snapshot(now);
+            }
+            // Live-metrics sampling reads host counters only — it can
+            // never perturb simulated behaviour (golden-gated both ways).
+            if let Some(sampler) = self.obs_sampler.as_mut() {
+                if now >= sampler.next_at {
+                    sampler.sample(now, self.events_dispatched);
+                }
             }
         }
     }
@@ -1269,6 +1331,11 @@ impl System {
             self.advance_net_token();
             if self.snapshot_every > 0 && now >= self.next_snapshot_at {
                 self.capture_ring_snapshot(now);
+            }
+            if let Some(sampler) = self.obs_sampler.as_mut() {
+                if now >= sampler.next_at {
+                    sampler.sample(now, self.events_dispatched);
+                }
             }
         }
     }
